@@ -1,0 +1,241 @@
+// Command xlayer regenerates the paper's tables and figures and runs
+// standalone coupled workflows.
+//
+// Usage:
+//
+//	xlayer <experiment> [-steps N]
+//	xlayer run [-app gas|advdiff] [-placement adaptive|insitu|intransit]
+//	           [-objective tts|util|movement] [-steps N] [-cores N] [-staging M]
+//
+// Experiments: fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2,
+// all. fig8 is printed as part of fig7, and fig11/table2 as part of fig10
+// (they share runs, exactly as in the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crosslayer"
+	"crosslayer/internal/spec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	steps := fs.Int("steps", 0, "time steps (0 = experiment default)")
+	app := fs.String("app", "gas", "application: gas or advdiff (run mode)")
+	placement := fs.String("placement", "adaptive", "adaptive, insitu or intransit (run mode)")
+	objective := fs.String("objective", "tts", "tts, util or movement (run mode)")
+	cores := fs.Int("cores", 2048, "simulation cores in the cost model (run mode)")
+	staging := fs.Int("staging", 128, "staging pool ceiling (run mode)")
+	csvPath := fs.String("csv", "", "write per-step records as CSV to this file (run mode)")
+	jsonlPath := fs.String("jsonl", "", "write per-step records as JSON Lines to this file (run mode)")
+	plotPath := fs.String("plotfile", "", "write the final AMR hierarchy snapshot to this file (run mode)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "fig1":
+		crosslayer.Fig1PeakMemory(*steps, 0, 0).Print(os.Stdout)
+	case "fig5":
+		crosslayer.Fig5AppAdaptation(*steps).Print(os.Stdout)
+	case "fig6":
+		crosslayer.Fig6EntropyReduction(*steps).Print(os.Stdout)
+	case "fig7", "fig8":
+		crosslayer.Fig7Placement(*steps).Print(os.Stdout)
+	case "fig9":
+		crosslayer.Fig9ResourceAdaptation(*steps).Print(os.Stdout)
+	case "fig10", "fig11", "table2":
+		crosslayer.Fig10CrossLayer(*steps).Print(os.Stdout)
+	case "all":
+		fmt.Println("=== Fig 1 ===")
+		crosslayer.Fig1PeakMemory(*steps, 0, 0).Print(os.Stdout)
+		fmt.Println("\n=== Fig 5 ===")
+		crosslayer.Fig5AppAdaptation(*steps).Print(os.Stdout)
+		fmt.Println("\n=== Fig 6 ===")
+		crosslayer.Fig6EntropyReduction(*steps).Print(os.Stdout)
+		fmt.Println("\n=== Figs 7 & 8 ===")
+		crosslayer.Fig7Placement(*steps).Print(os.Stdout)
+		fmt.Println("\n=== Fig 9 ===")
+		crosslayer.Fig9ResourceAdaptation(*steps).Print(os.Stdout)
+		fmt.Println("\n=== Figs 10 & 11, Table 2 ===")
+		crosslayer.Fig10CrossLayer(*steps).Print(os.Stdout)
+	case "runspec":
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: xlayer runspec [flags] <spec.json>")
+			os.Exit(2)
+		}
+		if err := runSpec(fs.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	case "run":
+		if err := runWorkflow(runOpts{
+			app: *app, placement: *placement, objective: *objective,
+			steps: *steps, cores: *cores, staging: *staging,
+			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec> [flags]
+run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
+           -objective tts|util|movement  -steps N  -cores N  -staging M
+           -csv FILE  -jsonl FILE  -plotfile FILE
+runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)`)
+}
+
+// runSpec executes a declarative workflow specification.
+func runSpec(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := spec.Parse(f)
+	if err != nil {
+		return err
+	}
+	wf, sim, err := w.Build()
+	if err != nil {
+		return err
+	}
+	steps := w.StepsOrDefault()
+	res := wf.Run(steps)
+	fmt.Printf("%s (%s) | %d steps\n", sim.Name(), path, steps)
+	fmt.Printf("simulation time: %.2fs   end-to-end: %.2fs   overhead: %.2fs\n",
+		res.SimSecondsTotal, res.EndToEnd, res.OverheadSeconds)
+	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB   energy: %.0f J\n",
+		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30), res.EnergyJoules)
+	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
+	return nil
+}
+
+type runOpts struct {
+	app, placement, objective    string
+	steps, cores, staging        int
+	csvPath, jsonlPath, plotPath string
+}
+
+func runWorkflow(o runOpts) error {
+	app, placement, objective := o.app, o.placement, o.objective
+	steps, cores, staging := o.steps, o.cores, o.staging
+	if steps <= 0 {
+		steps = 20
+	}
+	dom := crosslayer.NewBox(crosslayer.IV(0, 0, 0), crosslayer.IV(23, 23, 23))
+	var sim crosslayer.Simulation
+	switch app {
+	case "gas":
+		sim = crosslayer.NewPolytropicGas(crosslayer.GasConfig{
+			AMR: crosslayer.AMRConfig{Domain: dom, MaxLevel: 1, MaxBoxSize: 12, NRanks: 8},
+		})
+	case "advdiff":
+		sim = crosslayer.NewAdvectionDiffusion(crosslayer.AdvDiffConfig{
+			AMR: crosslayer.AMRConfig{Domain: dom, MaxLevel: 1, MaxBoxSize: 12, NRanks: 8, Periodic: true},
+		})
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+
+	cfg := crosslayer.Config{
+		Machine:      crosslayer.Titan(),
+		SimCores:     cores,
+		StagingCores: staging,
+		CellScale:    1000,
+		Hints: crosslayer.Hints{
+			Mode:         crosslayer.AppRangeBased,
+			FactorPhases: []crosslayer.FactorPhase{{FromStep: 0, Factors: []int{2, 4}}},
+		},
+	}
+	switch objective {
+	case "tts":
+		cfg.Objective = crosslayer.MinTimeToSolution
+	case "util":
+		cfg.Objective = crosslayer.MaxStagingUtilization
+	case "movement":
+		cfg.Objective = crosslayer.MinDataMovement
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	switch placement {
+	case "adaptive":
+		cfg.Enable = crosslayer.Adaptations{Application: true, Middleware: true, Resource: true}
+	case "insitu":
+		cfg.StaticPlacement = crosslayer.PlaceInSitu
+	case "intransit":
+		cfg.StaticPlacement = crosslayer.PlaceInTransit
+	default:
+		return fmt.Errorf("unknown placement %q", placement)
+	}
+
+	w, err := crosslayer.NewWorkflow(cfg, sim)
+	if err != nil {
+		return err
+	}
+	res := w.Run(steps)
+	fmt.Printf("%s | %s placement | objective %s | %d steps\n", sim.Name(), placement, cfg.Objective, steps)
+	fmt.Printf("simulation time: %.2fs   end-to-end: %.2fs   overhead: %.2fs (%.1f%%)\n",
+		res.SimSecondsTotal, res.EndToEnd, res.OverheadSeconds,
+		100*res.OverheadSeconds/res.SimSecondsTotal)
+	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB\n",
+		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30))
+	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
+	for _, s := range res.Steps {
+		fmt.Printf("  step %2d: factor %2d, %-10s, M=%3d, sim %.3fs, analysis %.3fs — %s\n",
+			s.Step, s.Factor, s.Placement, s.StagingCores, s.SimSeconds, s.AnalysisSeconds, s.PlacementReason)
+	}
+	if o.csvPath != "" {
+		if err := writeArtifact(o.csvPath, func(f *os.File) error {
+			return crosslayer.WriteTraceCSV(f, res.Steps)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.csvPath)
+	}
+	if o.jsonlPath != "" {
+		if err := writeArtifact(o.jsonlPath, func(f *os.File) error {
+			return crosslayer.WriteTraceJSONL(f, res.Steps)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.jsonlPath)
+	}
+	if o.plotPath != "" {
+		if err := writeArtifact(o.plotPath, func(f *os.File) error {
+			return crosslayer.WritePlotfile(f, w.Simulation().Hierarchy())
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.plotPath)
+	}
+	return nil
+}
+
+// writeArtifact creates path, runs the writer, and closes the file,
+// reporting the first error.
+func writeArtifact(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,319 @@
+// Package crosslayer is the public API of the cross-layer adaptive runtime
+// for coupled simulation + analysis workflows — a reproduction of Jin et
+// al., "Using Cross-Layer Adaptations for Dynamic Data Management in Large
+// Scale Coupled Scientific Workflows" (SC '13).
+//
+// A Workflow couples an AMR simulation (the Chombo-style Polytropic Gas or
+// Advection-Diffusion solvers) with a marching-cubes visualization service
+// over a DataSpaces-like staging space. After every simulation step the
+// autonomic loop — Monitor → Adaptation Engine → policies — may:
+//
+//   - adapt the spatial resolution of the analysis data (application
+//     layer: user-hinted factor ranges or per-block entropy thresholds),
+//   - adapt the placement of the analysis, in-situ on the simulation cores
+//     or in-transit on the staging pool (middleware layer),
+//   - adapt the number of staging cores (resource layer),
+//
+// coordinated root–leaf by the configured Objective.
+//
+// Quick start:
+//
+//	sim := crosslayer.NewPolytropicGas(crosslayer.GasConfig{
+//		AMR: crosslayer.AMRConfig{
+//			Domain:   crosslayer.NewBox(crosslayer.IV(0, 0, 0), crosslayer.IV(31, 31, 31)),
+//			MaxLevel: 1, NRanks: 8,
+//		},
+//	})
+//	w, err := crosslayer.NewWorkflow(crosslayer.Config{
+//		Machine:   crosslayer.Titan(),
+//		SimCores:  2048,
+//		Objective: crosslayer.MinTimeToSolution,
+//		Enable:    crosslayer.Adaptations{Application: true, Middleware: true, Resource: true},
+//	}, sim)
+//	if err != nil { ... }
+//	result := w.Run(40)
+//
+// The result carries per-step records (placement, data volumes, staging
+// allocation, virtual clocks) and run aggregates (end-to-end time,
+// overhead, data moved, staging utilization).
+package crosslayer
+
+import (
+	"io"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/analysis"
+	"crosslayer/internal/core"
+	"crosslayer/internal/entropy"
+	"crosslayer/internal/experiments"
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/plotfile"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/reduce"
+	"crosslayer/internal/solver"
+	"crosslayer/internal/spec"
+	"crosslayer/internal/staging"
+	"crosslayer/internal/sysmodel"
+	"crosslayer/internal/trace"
+	"crosslayer/internal/viz"
+)
+
+// Geometry.
+type (
+	// IntVect is a point on the 3-D integer lattice.
+	IntVect = grid.IntVect
+	// Box is a closed axis-aligned integer box in cell-index space.
+	Box = grid.Box
+)
+
+// IV constructs an IntVect.
+func IV(x, y, z int) IntVect { return grid.IV(x, y, z) }
+
+// NewBox builds the box [lo, hi].
+func NewBox(lo, hi IntVect) Box { return grid.NewBox(lo, hi) }
+
+// Simulations.
+type (
+	// Simulation is the contract between an AMR application and the
+	// workflow runtime.
+	Simulation = solver.Simulation
+	// AMRConfig fixes the shape of an AMR hierarchy.
+	AMRConfig = amr.Config
+	// GasConfig configures the Polytropic Gas (3-D Euler) simulation.
+	GasConfig = solver.GasConfig
+	// AdvDiffConfig configures the Advection-Diffusion simulation.
+	AdvDiffConfig = solver.AdvDiffConfig
+)
+
+// NewPolytropicGas builds the 3-D Euler blast-wave simulation.
+func NewPolytropicGas(cfg GasConfig) Simulation { return solver.NewPolytropicGas(cfg) }
+
+// NewAdvectionDiffusion builds the advected-pulse simulation.
+func NewAdvectionDiffusion(cfg AdvDiffConfig) Simulation {
+	return solver.NewAdvectionDiffusion(cfg)
+}
+
+// Platform models.
+type (
+	// Machine describes a target platform for the cost model.
+	Machine = sysmodel.Machine
+)
+
+// Intrepid returns the IBM BlueGene/P platform model.
+func Intrepid() Machine { return sysmodel.Intrepid() }
+
+// Titan returns the Cray XK7 platform model.
+func Titan() Machine { return sysmodel.Titan() }
+
+// Policies and preferences.
+type (
+	// Objective is the user preference the cross-layer policy optimizes.
+	Objective = policy.Objective
+	// Hints carries the user hints (factor ranges, entropy bands).
+	Hints = policy.Hints
+	// FactorPhase is one hinted phase of acceptable down-sampling factors.
+	FactorPhase = policy.FactorPhase
+	// AppMode selects the application-layer down-sampling mode.
+	AppMode = policy.AppMode
+	// Placement is the middleware-layer decision (in-situ or in-transit).
+	Placement = policy.Placement
+	// Band maps a block-entropy range to a down-sampling factor.
+	Band = reduce.Band
+)
+
+// Objective values.
+const (
+	MinTimeToSolution     = policy.MinTimeToSolution
+	MaxStagingUtilization = policy.MaxStagingUtilization
+	MinDataMovement       = policy.MinDataMovement
+)
+
+// Application-layer modes.
+const (
+	AppOff          = policy.AppOff
+	AppRangeBased   = policy.AppRangeBased
+	AppEntropyBased = policy.AppEntropyBased
+)
+
+// Placements.
+const (
+	PlaceInSitu    = policy.PlaceInSitu
+	PlaceInTransit = policy.PlaceInTransit
+)
+
+// Workflow runtime.
+type (
+	// Config assembles a workflow.
+	Config = core.Config
+	// Adaptations selects which mechanisms may execute.
+	Adaptations = core.Adaptations
+	// Workflow couples a simulation with the visualization service and
+	// drives the autonomic adaptation loop.
+	Workflow = core.Workflow
+	// Result aggregates a workflow run.
+	Result = core.Result
+	// StepRecord captures one workflow step.
+	StepRecord = core.StepRecord
+)
+
+// NewWorkflow validates cfg and builds the runtime around sim.
+func NewWorkflow(cfg Config, sim Simulation) (*Workflow, error) {
+	return core.NewWorkflow(cfg, sim)
+}
+
+// Data containers and analysis services.
+type (
+	// BoxData holds multi-component float64 data over a Box.
+	BoxData = field.BoxData
+	// Hierarchy is a block-structured AMR level stack.
+	Hierarchy = amr.Hierarchy
+	// VizService is the marching-cubes isosurface extraction service.
+	VizService = viz.Service
+	// Mesh is an extracted isosurface (triangle soup).
+	Mesh = viz.Mesh
+	// Triangle is one oriented surface triangle.
+	Triangle = viz.Triangle
+	// Vec3 is a point in physical space.
+	Vec3 = viz.Vec3
+	// VizStats summarizes one extraction run.
+	VizStats = viz.Stats
+	// EntropyPlan assigns per-block down-sampling factors from entropy
+	// thresholds.
+	EntropyPlan = reduce.EntropyPlan
+	// BlockDecision records the plan's choice for one block.
+	BlockDecision = reduce.BlockDecision
+)
+
+// NewBoxData allocates zero-initialized data over box.
+func NewBoxData(box Box, ncomp int) *BoxData { return field.New(box, ncomp) }
+
+// NewVizService builds a visualization service for the given isovalues.
+func NewVizService(isovalues ...float64) *VizService { return viz.NewService(isovalues...) }
+
+// NewEntropyPlan validates entropy bands into a reduction plan.
+func NewEntropyPlan(bands []Band, nbins int) (*EntropyPlan, error) {
+	return reduce.NewEntropyPlan(bands, nbins)
+}
+
+// BlockEntropy returns the Shannon entropy (bits) of component c of a data
+// block, measured on the caller-supplied global value range with nbins
+// histogram bins.
+func BlockEntropy(d *BoxData, c, nbins int, lo, hi float64) float64 {
+	return entropy.BlockGlobal(d, c, nbins, lo, hi)
+}
+
+// Downsample reduces data by keeping every x-th sample along each axis.
+func Downsample(d *BoxData, x int) *BoxData { return field.Downsample(d, x) }
+
+// Analysis services. The workflow's Config.Analysis accepts any of these
+// (nil selects the isosurface service over Config.Isovalues).
+type (
+	// AnalysisService is a communication-free analysis kernel the
+	// middleware layer can place in-situ or in-transit.
+	AnalysisService = analysis.Service
+	// AnalysisReport is the outcome of one analysis execution.
+	AnalysisReport = analysis.Report
+)
+
+// NewIsosurfaceService builds the marching-cubes analysis service.
+func NewIsosurfaceService(isovalues ...float64) *analysis.Isosurface {
+	return analysis.NewIsosurface(isovalues...)
+}
+
+// NewStatisticsService builds the descriptive-statistics analysis service.
+func NewStatisticsService(bins int) *analysis.Statistics {
+	return analysis.NewStatistics(bins)
+}
+
+// NewSubsetService builds the data-subsetting analysis service for a
+// region of interest.
+func NewSubsetService(region Box) *analysis.Subset { return analysis.NewSubset(region) }
+
+// Staging substrate (direct use; the Workflow manages its own space).
+type (
+	// StagingSpace is the DataSpaces-like versioned object store.
+	StagingSpace = staging.Space
+	// StagingServer serves a StagingSpace over TCP.
+	StagingServer = staging.Server
+	// StagingClient talks to a StagingServer.
+	StagingClient = staging.Client
+)
+
+// NewStagingSpace creates a staging space with nservers shards, each with
+// capacityPerServer bytes (0 = unlimited), indexing blocks within domain.
+func NewStagingSpace(nservers int, capacityPerServer int64, domain Box) *StagingSpace {
+	return staging.NewSpace(nservers, capacityPerServer, domain)
+}
+
+// ServeStaging starts a TCP staging server on addr backed by space.
+func ServeStaging(addr string, space *StagingSpace) (*StagingServer, error) {
+	return staging.Serve(addr, space)
+}
+
+// DialStaging connects to a TCP staging server.
+func DialStaging(addr string) (*StagingClient, error) { return staging.Dial(addr) }
+
+// Declarative workflow specifications (the paper's future-work
+// programming model).
+type (
+	// WorkflowSpec is the JSON shape of one workflow specification.
+	WorkflowSpec = spec.Workflow
+)
+
+// ParseSpec reads and validates a JSON workflow specification; Build on
+// the result constructs the ready-to-run workflow.
+func ParseSpec(r io.Reader) (*WorkflowSpec, error) { return spec.Parse(r) }
+
+// Run artifacts.
+
+// WriteTraceCSV emits one CSV row per step record.
+func WriteTraceCSV(w io.Writer, steps []StepRecord) error { return trace.WriteCSV(w, steps) }
+
+// WriteTraceJSONL emits one JSON object per line per step record.
+func WriteTraceJSONL(w io.Writer, steps []StepRecord) error { return trace.WriteJSONL(w, steps) }
+
+// WritePlotfile serializes an AMR hierarchy snapshot.
+func WritePlotfile(w io.Writer, h *Hierarchy) error { return plotfile.Write(w, h) }
+
+// ReadPlotfile reconstructs a hierarchy snapshot.
+func ReadPlotfile(r io.Reader) (*Hierarchy, error) { return plotfile.Read(r) }
+
+// Experiment harnesses (the paper's evaluation, §5). Each function
+// regenerates one figure or table; see EXPERIMENTS.md for the mapping.
+type (
+	// Fig1Result is the peak-memory profile (Fig. 1).
+	Fig1Result = experiments.Fig1Result
+	// Fig5Result is the application-layer adaptation series (Fig. 5).
+	Fig5Result = experiments.Fig5Result
+	// Fig6Result is the entropy-based reduction study (Fig. 6).
+	Fig6Result = experiments.Fig6Result
+	// Fig7Result is the placement scaling study (Figs. 7–8).
+	Fig7Result = experiments.Fig7Result
+	// Fig9Result is the resource-layer allocation series (Fig. 9).
+	Fig9Result = experiments.Fig9Result
+	// Fig10Result is the cross-layer study (Figs. 10–11, Table 2).
+	Fig10Result = experiments.Fig10Result
+)
+
+// Fig1PeakMemory regenerates Fig. 1.
+func Fig1PeakMemory(steps, ranks int, targetPeakMB float64) *Fig1Result {
+	return experiments.Fig1PeakMemory(steps, ranks, targetPeakMB)
+}
+
+// Fig5AppAdaptation regenerates Fig. 5.
+func Fig5AppAdaptation(steps int) *Fig5Result { return experiments.Fig5AppAdaptation(steps) }
+
+// Fig6EntropyReduction regenerates Fig. 6.
+func Fig6EntropyReduction(steps int) *Fig6Result { return experiments.Fig6EntropyReduction(steps) }
+
+// Fig7Placement regenerates Figs. 7 and 8.
+func Fig7Placement(steps int) *Fig7Result { return experiments.Fig7Placement(steps) }
+
+// Fig9ResourceAdaptation regenerates Fig. 9.
+func Fig9ResourceAdaptation(steps int) *Fig9Result {
+	return experiments.Fig9ResourceAdaptation(steps)
+}
+
+// Fig10CrossLayer regenerates Figs. 10, 11 and Table 2.
+func Fig10CrossLayer(steps int) *Fig10Result { return experiments.Fig10CrossLayer(steps) }

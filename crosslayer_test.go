@@ -1,0 +1,96 @@
+package crosslayer
+
+import "testing"
+
+// The facade tests verify the public surface works end to end without
+// touching internal packages directly (beyond what the aliases expose).
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sim := NewPolytropicGas(GasConfig{
+		AMR: AMRConfig{
+			Domain:   NewBox(IV(0, 0, 0), IV(15, 15, 15)),
+			MaxLevel: 1,
+			NRanks:   4,
+		},
+	})
+	w, err := NewWorkflow(Config{
+		Machine:      Titan(),
+		SimCores:     1024,
+		StagingCores: 64,
+		Objective:    MinTimeToSolution,
+		Enable:       Adaptations{Application: true, Middleware: true, Resource: true},
+		Hints: Hints{
+			Mode:         AppRangeBased,
+			FactorPhases: []FactorPhase{{FromStep: 0, Factors: []int{2, 4}}},
+		},
+		CellScale: 500,
+	}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(6)
+	if len(res.Steps) != 6 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	if res.EndToEnd <= 0 || res.SimSecondsTotal <= 0 {
+		t.Error("timings missing")
+	}
+	for _, s := range res.Steps {
+		if s.Factor < 2 {
+			t.Errorf("step %d: application adaptation inactive (factor %d)", s.Step, s.Factor)
+		}
+	}
+}
+
+func TestPublicVizFlow(t *testing.T) {
+	sim := NewAdvectionDiffusion(AdvDiffConfig{
+		AMR: AMRConfig{
+			Domain:   NewBox(IV(0, 0, 0), IV(15, 15, 15)),
+			MaxLevel: 0,
+			NRanks:   2,
+			Periodic: true,
+		},
+	})
+	for i := 0; i < 3; i++ {
+		sim.Step()
+	}
+	svc := NewVizService(0.05) // the narrow pulse smears quickly; a low isovalue always crosses
+	mesh, stats := svc.ExtractHierarchy(sim.Hierarchy(), sim.AnalysisComp(), 1.0/16)
+	if mesh.Count() == 0 || stats.Triangles != mesh.Count() {
+		t.Fatalf("extraction failed: %d triangles", mesh.Count())
+	}
+}
+
+func TestPublicEntropyFlow(t *testing.T) {
+	d := NewBoxData(NewBox(IV(0, 0, 0), IV(7, 7, 7)), 1)
+	for i := range d.Comp(0) {
+		d.Comp(0)[i] = float64(i % 7)
+	}
+	h := BlockEntropy(d, 0, 64, 0, 7)
+	if h <= 0 {
+		t.Errorf("entropy = %v", h)
+	}
+	plan, err := NewEntropyPlan([]Band{{Below: 100, Factor: 2}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := plan.Decide([]*BoxData{d}, 0)
+	if len(dec) != 1 || dec[0].Factor != 2 {
+		t.Errorf("plan decision = %+v", dec)
+	}
+	if got := Downsample(d, 2).NumCells(); got != 64 {
+		t.Errorf("downsample cells = %d", got)
+	}
+}
+
+func TestPublicExperimentEntryPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	if r := Fig1PeakMemory(8, 8, 100); len(r.Steps) != 8 {
+		t.Error("Fig1 wrapper broken")
+	}
+	if r := Fig6EntropyReduction(6); r == nil {
+		t.Error("Fig6 wrapper broken")
+	}
+}

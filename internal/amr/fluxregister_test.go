@@ -1,0 +1,144 @@
+package amr
+
+import (
+	"testing"
+
+	"crosslayer/internal/grid"
+)
+
+// twoLevel builds a hierarchy with a centered refined region.
+func twoLevel(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := NewHierarchy(Config{
+		Domain:     grid.NewBox(grid.IV(0, 0, 0), grid.IV(15, 15, 15)),
+		NComp:      2,
+		MaxLevel:   1,
+		RefRatio:   2,
+		MaxBoxSize: 8,
+		NRanks:     2,
+	})
+	var tags []grid.IntVect
+	grid.NewBox(grid.IV(6, 6, 6), grid.IV(9, 9, 9)).ForEach(func(q grid.IntVect) {
+		tags = append(tags, q)
+	})
+	h.Regrid(0, tags)
+	if h.FinestLevel() != 1 {
+		t.Fatal("setup: no fine level")
+	}
+	return h
+}
+
+func TestNewFluxRegisterFaceCount(t *testing.T) {
+	h := twoLevel(t)
+	reg := NewFluxRegister(h, 1)
+	// The coarsened fine region is a cube (possibly grown by the tag
+	// buffer); its boundary face count is 6*s² for side s.
+	union := grid.Empty()
+	for _, p := range h.Level(1).Patches {
+		union = union.Union(p.Box.Coarsen(2))
+	}
+	s := union.Size().X
+	want := 6 * s * s
+	if got := reg.NumFaces(); got != want {
+		t.Errorf("NumFaces = %d, want %d (side %d)", got, want, s)
+	}
+}
+
+func TestFluxRegisterIgnoresInteriorAndUnregistered(t *testing.T) {
+	h := twoLevel(t)
+	reg := NewFluxRegister(h, 1)
+	before := reg.NumFaces()
+	// Recording at a non-CF face is a no-op.
+	reg.RecordCoarse(grid.IV(0, 0, 0), 0, []float64{1, 2})
+	reg.AccumFine(grid.IV(1, 1, 1), 0, []float64{1, 2}) // odd index: not aligned
+	reg.Reflux(h.Level(0), 1.0)
+	if reg.NumFaces() != before {
+		t.Error("face set changed")
+	}
+	// No data should have been applied anywhere (all fluxes unset).
+	for _, p := range h.Level(0).Patches {
+		if p.Data.Sum(0) != 0 || p.Data.Sum(1) != 0 {
+			t.Fatal("reflux without recorded fluxes changed data")
+		}
+	}
+}
+
+func TestFluxRegisterCorrectionDirection(t *testing.T) {
+	h := twoLevel(t)
+	reg := NewFluxRegister(h, 1)
+
+	// Locate the low-X boundary plane of the coarsened fine union.
+	union := grid.Empty()
+	for _, p := range h.Level(1).Patches {
+		union = union.Union(p.Box.Coarsen(2))
+	}
+	face := grid.IV(union.Lo.X, union.Lo.Y, union.Lo.Z) // face between out (x-1) and in (x)
+	out := face.WithComp(0, face.X-1)
+
+	// Coarse solver used flux 1; fine side averaged to 3 (four fine faces
+	// of value 3 each, weighted by 1/4).
+	reg.RecordCoarse(face, 0, []float64{1, 0})
+	ff := face.Scale(2)
+	for dy := 0; dy < 2; dy++ {
+		for dz := 0; dz < 2; dz++ {
+			reg.AccumFine(grid.IV(ff.X, ff.Y+dy, ff.Z+dz), 0, []float64{3, 0})
+		}
+	}
+	lambda := 0.5
+	reg.Reflux(h.Level(0), lambda)
+
+	// The outside cell sits below the face, so the face contributes −λF to
+	// it; the correction is −λ(<F_f>−F_c) = −0.5·(3−1) = −1.
+	got := 0.0
+	for _, p := range h.Level(0).Patches {
+		if p.Box.Contains(out) {
+			got = p.Data.Get(out, 0)
+		}
+	}
+	if got != -1 {
+		t.Errorf("correction = %v, want -1", got)
+	}
+	// Component 1 untouched.
+	for _, p := range h.Level(0).Patches {
+		if p.Box.Contains(out) && p.Data.Get(out, 1) != 0 {
+			t.Error("wrong component corrected")
+		}
+	}
+}
+
+func TestFluxRegisterReset(t *testing.T) {
+	h := twoLevel(t)
+	reg := NewFluxRegister(h, 1)
+	union := grid.Empty()
+	for _, p := range h.Level(1).Patches {
+		union = union.Union(p.Box.Coarsen(2))
+	}
+	face := grid.IV(union.Lo.X, union.Lo.Y, union.Lo.Z)
+	reg.RecordCoarse(face, 0, []float64{1, 0})
+	reg.Reset()
+	reg.Reflux(h.Level(0), 1.0)
+	for _, p := range h.Level(0).Patches {
+		if p.Data.Sum(0) != 0 {
+			t.Fatal("Reset did not clear recorded fluxes")
+		}
+	}
+	if reg.NumFaces() == 0 {
+		t.Error("Reset should keep the face set")
+	}
+}
+
+func TestDecomposeAlignedKeepsRatioPlanes(t *testing.T) {
+	// Every fine patch boundary produced by regrid must lie on an even
+	// (ratio-2) plane.
+	h := twoLevel(t)
+	for _, p := range h.Level(1).Patches {
+		for d := 0; d < 3; d++ {
+			if p.Box.Lo.Comp(d)%2 != 0 {
+				t.Errorf("patch %v low face misaligned in dim %d", p.Box, d)
+			}
+			if (p.Box.Hi.Comp(d)+1)%2 != 0 {
+				t.Errorf("patch %v high face misaligned in dim %d", p.Box, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package amr
+
+import (
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// FillGhost returns patch data extended by ng ghost cells, filled in
+// priority order from (1) same-level patches, including periodic images
+// when the domain is periodic, (2) the next coarser level by
+// piecewise-constant interpolation, and (3) for non-periodic domains,
+// clamped extrapolation of the nearest interior cell (outflow boundary).
+//
+// The returned BoxData covers p.Box.Grow(ng); the interior equals p.Data.
+func (h *Hierarchy) FillGhost(li int, p *Patch, ng int) *field.BoxData {
+	return h.fillGhost(li, p, ng, nil)
+}
+
+// FillGhostBlended is FillGhost with the coarse source replaced by a time
+// blend: ghost cells interpolated from the coarse level use
+// (1−theta)·oldCoarse[j] + theta·current for each coarse patch j. This is
+// the coarse-ghost interpolation Berger–Oliger subcycling needs: a fine
+// substep at time t within a coarse step [T, T+Δ] fills its coarse ghosts
+// at theta = (t−T)/Δ. oldCoarse must parallel the coarse level's patches
+// (a snapshot taken before the coarse level advanced).
+func (h *Hierarchy) FillGhostBlended(li int, p *Patch, ng int, oldCoarse []*field.BoxData, theta float64) *field.BoxData {
+	if li == 0 {
+		return h.fillGhost(li, p, ng, nil)
+	}
+	coarse := h.Levels[li-1]
+	if len(oldCoarse) != len(coarse.Patches) {
+		panic("amr: FillGhostBlended snapshot does not match the coarse level")
+	}
+	blend := func(cdata *field.BoxData) {
+		for j, cp := range coarse.Patches {
+			if !cp.Box.Intersects(cdata.Box) {
+				continue
+			}
+			is := cp.Box.Intersect(cdata.Box)
+			tmp := oldCoarse[j].Subset(is)
+			for c := 0; c < h.Cfg.NComp; c++ {
+				tmp.Scale(c, 1-theta)
+				tmp.Axpy(theta, cp.Data, c, c)
+			}
+			cdata.CopyFrom(tmp)
+		}
+	}
+	return h.fillGhost(li, p, ng, blend)
+}
+
+// fillGhost implements both fill variants; coarseFill, when non-nil,
+// populates the gathered coarse snapshot instead of the default copy from
+// the current coarse level.
+func (h *Hierarchy) fillGhost(li int, p *Patch, ng int, coarseFill func(*field.BoxData)) *field.BoxData {
+	l := h.Levels[li]
+	gb := p.Box.Grow(ng)
+	out := field.New(gb, h.Cfg.NComp)
+	filled := make([]bool, gb.NumCells())
+
+	markCopied := func(src grid.Box) {
+		is := gb.Intersect(src)
+		is.ForEach(func(q grid.IntVect) { filled[gb.Offset(q)] = true })
+	}
+
+	// (1) same-level copies.
+	for _, sp := range l.Patches {
+		if sp.Box.Intersects(gb) {
+			out.CopyFrom(sp.Data)
+			markCopied(sp.Box)
+		}
+	}
+
+	// (1b) periodic images: copy each patch shifted by all non-zero
+	// combinations of the domain extent.
+	if h.Cfg.Periodic {
+		ext := l.Domain.Size()
+		for sz := -1; sz <= 1; sz++ {
+			for sy := -1; sy <= 1; sy++ {
+				for sx := -1; sx <= 1; sx++ {
+					if sx == 0 && sy == 0 && sz == 0 {
+						continue
+					}
+					shift := grid.IV(sx*ext.X, sy*ext.Y, sz*ext.Z)
+					for _, sp := range l.Patches {
+						sb := sp.Box.Shift(shift)
+						if !sb.Intersects(gb) {
+							continue
+						}
+						is := gb.Intersect(sb)
+						is.ForEach(func(q grid.IntVect) {
+							out.CopyCell(q, sp.Data, q.Sub(shift))
+							filled[gb.Offset(q)] = true
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// (2) coarse interpolation for unfilled in-domain cells.
+	if li > 0 {
+		r := h.Cfg.RefRatio
+		coarse := h.Levels[li-1]
+		cgb := gb.Coarsen(r)
+		cdata := field.New(cgb, h.Cfg.NComp)
+		if coarseFill != nil {
+			coarseFill(cdata)
+		} else {
+			for _, cp := range coarse.Patches {
+				cdata.CopyFrom(cp.Data)
+			}
+		}
+		gb.ForEach(func(q grid.IntVect) {
+			if filled[gb.Offset(q)] || !l.Domain.Contains(q) {
+				return
+			}
+			cq := q.Div(r)
+			for c := 0; c < h.Cfg.NComp; c++ {
+				out.Set(q, c, cdata.Get(cq, c))
+			}
+			filled[gb.Offset(q)] = true
+		})
+	}
+
+	// (3) clamped extrapolation for anything left (out-of-domain cells of
+	// non-periodic problems, or corner cells with no periodic image).
+	gb.ForEach(func(q grid.IntVect) {
+		if filled[gb.Offset(q)] {
+			return
+		}
+		cq := q.Max(p.Box.Lo).Min(p.Box.Hi)
+		for c := 0; c < h.Cfg.NComp; c++ {
+			out.Set(q, c, out.Get(cq, c))
+		}
+	})
+
+	return out
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+func sphereBlocks() []*field.BoxData {
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 16)), 1)
+	c := 7.5
+	d.Box.ForEach(func(q grid.IntVect) {
+		dx, dy, dz := float64(q.X)-c, float64(q.Y)-c, float64(q.Z)-c
+		d.Set(q, 0, math.Sqrt(dx*dx+dy*dy+dz*dz))
+	})
+	return []*field.BoxData{d}
+}
+
+func TestIsosurfaceService(t *testing.T) {
+	s := NewIsosurface(4.0, 6.0)
+	if s.Name() != "isosurface" {
+		t.Error("name")
+	}
+	if s.SweepsPerCell() != 2 {
+		t.Errorf("SweepsPerCell = %v", s.SweepsPerCell())
+	}
+	blocks := sphereBlocks()
+	rep := s.Analyze(blocks, 0, 1)
+	if rep.Metrics["triangles"] <= 0 {
+		t.Fatal("no triangles")
+	}
+	if rep.CellsSwept != blocks[0].NumCells()*2 {
+		t.Errorf("CellsSwept = %d", rep.CellsSwept)
+	}
+	if rep.OutputBytes <= 0 {
+		t.Error("no output bytes")
+	}
+	if m := s.Mesh(blocks, 0, 1); m.Count() != int(rep.Metrics["triangles"]) {
+		t.Error("Mesh disagrees with Analyze")
+	}
+}
+
+func TestStatisticsService(t *testing.T) {
+	s := NewStatistics(0)
+	if s.Bins != 64 {
+		t.Errorf("default bins = %d", s.Bins)
+	}
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(4, 4, 4)), 1)
+	for i := range d.Comp(0) {
+		d.Comp(0)[i] = float64(i % 8)
+	}
+	rep := s.Analyze([]*field.BoxData{d}, 0, 1)
+	if rep.Metrics["min"] != 0 || rep.Metrics["max"] != 7 {
+		t.Errorf("range = [%v, %v]", rep.Metrics["min"], rep.Metrics["max"])
+	}
+	if got := rep.Metrics["mean"]; math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	// Uniform over 8 values → 3 bits.
+	if got := rep.Metrics["entropy"]; math.Abs(got-3) > 1e-9 {
+		t.Errorf("entropy = %v", got)
+	}
+	if rep.CellsSwept != 2*d.NumCells() {
+		t.Errorf("CellsSwept = %d", rep.CellsSwept)
+	}
+	if rep.Metrics["variance"] < 0 {
+		t.Error("negative variance")
+	}
+}
+
+func TestStatisticsMultiBlock(t *testing.T) {
+	a := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(2, 2, 2)), 1)
+	a.FillAll(1)
+	b := field.New(grid.BoxFromSize(grid.IV(4, 0, 0), grid.IV(2, 2, 2)), 1)
+	b.FillAll(3)
+	rep := NewStatistics(8).Analyze([]*field.BoxData{a, b}, 0, 1)
+	if rep.Metrics["mean"] != 2 {
+		t.Errorf("cross-block mean = %v", rep.Metrics["mean"])
+	}
+	if rep.Metrics["min"] != 1 || rep.Metrics["max"] != 3 {
+		t.Error("cross-block range wrong")
+	}
+}
+
+func TestStatisticsEmpty(t *testing.T) {
+	rep := NewStatistics(8).Analyze(nil, 0, 1)
+	if rep.CellsSwept != 0 || rep.Metrics["mean"] != 0 {
+		t.Errorf("empty stats = %+v", rep)
+	}
+}
+
+func TestSubsetService(t *testing.T) {
+	region := grid.NewBox(grid.IV(2, 2, 2), grid.IV(5, 5, 5))
+	s := NewSubset(region)
+	if s.SweepsPerCell() != 1 || s.Name() == "" {
+		t.Error("metadata")
+	}
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(8, 8, 8)), 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := range d.Comp(0) {
+		d.Comp(0)[i] = rng.Float64()
+	}
+	out := field.New(grid.BoxFromSize(grid.IV(16, 0, 0), grid.IV(4, 4, 4)), 1) // disjoint from region
+	rep := s.Analyze([]*field.BoxData{d, out}, 0, 1)
+	if rep.OutputBytes != region.NumCells()*8 {
+		t.Errorf("subset bytes = %d, want %d", rep.OutputBytes, region.NumCells()*8)
+	}
+	sub := s.Extract([]*field.BoxData{d, out})
+	if len(sub) != 1 {
+		t.Fatalf("extracted %d blocks", len(sub))
+	}
+	if sub[0].Box != region {
+		t.Errorf("subset box = %v", sub[0].Box)
+	}
+	sub[0].Box.ForEach(func(q grid.IntVect) {
+		if sub[0].Get(q, 0) != d.Get(q, 0) {
+			t.Fatalf("subset value mismatch at %v", q)
+		}
+	})
+}
+
+func TestServiceInterfaceCompliance(t *testing.T) {
+	var _ Service = (*Isosurface)(nil)
+	var _ Service = (*Statistics)(nil)
+	var _ Service = (*Subset)(nil)
+}

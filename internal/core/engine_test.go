@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/monitor"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/reduce"
+	"crosslayer/internal/sysmodel"
+)
+
+func engineCfg(obj policy.Objective, enable Adaptations) Config {
+	return Config{
+		Machine:      sysmodel.Titan(),
+		SimCores:     1024,
+		StagingCores: 64,
+		Objective:    obj,
+		Enable:       enable,
+		Isovalues:    []float64{1.0, 2.0},
+	}
+}
+
+func someBlocks(n int) []*field.BoxData {
+	rng := rand.New(rand.NewSource(9))
+	var out []*field.BoxData
+	for i := 0; i < n; i++ {
+		d := field.New(grid.BoxFromSize(grid.IV(i*8, 0, 0), grid.IV(8, 8, 8)), 1)
+		for j := range d.Comp(0) {
+			d.Comp(0)[j] = rng.Float64()
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestEnginePlanInclusion(t *testing.T) {
+	e := NewEngine(engineCfg(policy.MinTimeToSolution, Adaptations{}))
+	for _, m := range []policy.Mechanism{policy.MechApplication, policy.MechResource, policy.MechMiddleware} {
+		if !e.PlanIncludes(m) {
+			t.Errorf("MinTTS plan missing %v", m)
+		}
+	}
+	e = NewEngine(engineCfg(policy.MaxStagingUtilization, Adaptations{}))
+	if e.PlanIncludes(policy.MechMiddleware) {
+		t.Error("MaxUtil plan must exclude middleware")
+	}
+}
+
+func TestAdaptApplicationDisabledPassthrough(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Application: false})
+	cfg.Hints = policy.Hints{Mode: policy.AppRangeBased,
+		FactorPhases: []policy.FactorPhase{{Factors: []int{4}}}}
+	e := NewEngine(cfg)
+	blocks := someBlocks(2)
+	out, dec := e.AdaptApplication(blocks, monitor.Sample{MaxRankDataBytes: 1 << 20, MemAvailPerRank: []int64{1 << 30}}, 0)
+	if dec.Applied || dec.Factor != 1 {
+		t.Errorf("disabled mechanism acted: %+v", dec)
+	}
+	if len(out) != 2 || out[0] != blocks[0] {
+		t.Error("disabled mechanism should pass blocks through unchanged")
+	}
+}
+
+func TestAdaptApplicationRangeMode(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Application: true})
+	cfg.Hints = policy.Hints{Mode: policy.AppRangeBased,
+		FactorPhases: []policy.FactorPhase{{Factors: []int{2, 4}}}}
+	e := NewEngine(cfg)
+	blocks := someBlocks(3)
+	out, dec := e.AdaptApplication(blocks, monitor.Sample{
+		MaxRankDataBytes: 1 << 20, MemAvailPerRank: []int64{1 << 30},
+	}, 0)
+	if !dec.Applied || dec.Factor != 2 {
+		t.Fatalf("expected factor 2, got %+v", dec)
+	}
+	for i, b := range out {
+		if b.NumCells() != blocks[i].NumCells()/8 {
+			t.Errorf("block %d not reduced by 2³", i)
+		}
+	}
+}
+
+func TestAdaptApplicationDegraded(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Application: true})
+	cfg.Hints = policy.Hints{Mode: policy.AppRangeBased,
+		FactorPhases: []policy.FactorPhase{{Factors: []int{2, 4}}}}
+	e := NewEngine(cfg)
+	_, dec := e.AdaptApplication(someBlocks(1), monitor.Sample{
+		MaxRankDataBytes: 1 << 30, MemAvailPerRank: []int64{1}, // nothing fits
+	}, 0)
+	if !dec.Degraded {
+		t.Error("infeasible memory should mark the decision degraded")
+	}
+	if dec.Factor != 4 {
+		t.Errorf("degraded factor = %d, want most aggressive", dec.Factor)
+	}
+}
+
+func TestAdaptApplicationEntropyMode(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Application: true})
+	cfg.Hints = policy.Hints{Mode: policy.AppEntropyBased,
+		EntropyBands: []reduce.Band{{Below: 0.5, Factor: 4}}}
+	e := NewEngine(cfg)
+	flat := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(8, 8, 8)), 1)
+	flat.FillAll(1)
+	noisy := someBlocks(1)[0]
+	out, dec := e.AdaptApplication([]*field.BoxData{flat, noisy}, monitor.Sample{}, 0)
+	if !dec.Applied {
+		t.Fatal("entropy mode did not reduce the flat block")
+	}
+	if out[0].NumCells() != flat.NumCells()/64 {
+		t.Error("flat block not reduced by 4³")
+	}
+	if out[1].NumCells() != noisy.NumCells() {
+		t.Error("noisy block should keep full resolution")
+	}
+	if dec.Factor < 1 {
+		t.Errorf("effective factor = %d", dec.Factor)
+	}
+}
+
+func TestEffectiveFactor(t *testing.T) {
+	cases := []struct {
+		raw, red int64
+		want     int
+	}{
+		{1000, 1000, 1},
+		{1000, 125, 2},
+		{64000, 1000, 4},
+		{1000, 0, 1},
+		{0, 10, 1},
+	}
+	for _, c := range cases {
+		if got := effectiveFactor(c.raw, c.red); got != c.want {
+			t.Errorf("effectiveFactor(%d,%d) = %d, want %d", c.raw, c.red, got, c.want)
+		}
+	}
+}
+
+func TestAdaptResourceStaticWhenDisabled(t *testing.T) {
+	e := NewEngine(engineCfg(policy.MinTimeToSolution, Adaptations{Resource: false}))
+	m := e.AdaptResource(1<<20, 1<<20, monitor.Sample{SimSeconds: 1}, monitor.New(0))
+	if m != 64 {
+		t.Errorf("disabled resource mechanism returned %d, want pool ceiling", m)
+	}
+}
+
+func TestAdaptResourceScalesWithData(t *testing.T) {
+	e := NewEngine(engineCfg(policy.MinTimeToSolution, Adaptations{Resource: true}))
+	mon := monitor.New(0)
+	mon.Record(monitor.Sample{SimSeconds: 1})
+	small := e.AdaptResource(1<<20, 1<<24, monitor.Sample{SimSeconds: 1}, mon)
+	large := e.AdaptResource(1<<30, 1<<30, monitor.Sample{SimSeconds: 1}, mon)
+	if large < small {
+		t.Errorf("more data should not need fewer cores: %d vs %d", large, small)
+	}
+	if small < 1 || large > 64 {
+		t.Errorf("allocations outside pool: %d, %d", small, large)
+	}
+}
+
+func TestAdaptMiddlewareStaticFallback(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Middleware: false})
+	cfg.StaticPlacement = policy.PlaceInTransit
+	e := NewEngine(cfg)
+	p, reason := e.AdaptMiddleware(PlacementState{})
+	if p != policy.PlaceInTransit || reason == "" {
+		t.Errorf("static fallback: %v %q", p, reason)
+	}
+}
+
+func TestAdaptMiddlewareExcludedObjective(t *testing.T) {
+	cfg := engineCfg(policy.MaxStagingUtilization, Adaptations{Middleware: true})
+	e := NewEngine(cfg)
+	p, _ := e.AdaptMiddleware(PlacementState{})
+	if p != policy.PlaceInTransit {
+		t.Error("MaxUtil objective should keep analysis in-transit")
+	}
+}
+
+func TestAdaptMiddlewareMemoryPressure(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Middleware: true})
+	e := NewEngine(cfg)
+	// Staging full: must go in-situ despite idle staging.
+	p, _ := e.AdaptMiddleware(PlacementState{
+		ReducedBytes: 1 << 30, ReducedCells: 1 << 20,
+		Sample:         monitor.Sample{MemAvailPerRank: []int64{1 << 30}, Imbalance: 1},
+		StagingCores:   64,
+		StagingMemUsed: 90, StagingMemCap: 100,
+	})
+	if p != policy.PlaceInSitu {
+		t.Error("full staging should force in-situ")
+	}
+	// Simulation side out of memory: must ship.
+	p, _ = e.AdaptMiddleware(PlacementState{
+		ReducedBytes: 1 << 30, ReducedCells: 1 << 20,
+		Sample:       monitor.Sample{MemAvailPerRank: []int64{0}, Imbalance: 1},
+		StagingCores: 64,
+	})
+	if p != policy.PlaceInTransit {
+		t.Error("exhausted simulation memory should force in-transit")
+	}
+}
+
+func TestAdaptMiddlewareBusyStagingComparison(t *testing.T) {
+	cfg := engineCfg(policy.MinTimeToSolution, Adaptations{Middleware: true})
+	e := NewEngine(cfg)
+	st := PlacementState{
+		ReducedBytes: 1 << 20, ReducedCells: 1 << 26,
+		Sample:       monitor.Sample{MemAvailPerRank: []int64{1 << 30}, Imbalance: 2},
+		StagingCores: 64,
+	}
+	// Idle staging ships.
+	p, _ := e.AdaptMiddleware(st)
+	if p != policy.PlaceInTransit {
+		t.Fatal("idle staging should ship")
+	}
+	// A deep backlog flips it in-situ.
+	st.StagingRemaining = 1e9
+	p, _ = e.AdaptMiddleware(st)
+	if p != policy.PlaceInSitu {
+		t.Error("deep backlog should flip to in-situ")
+	}
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/analysis"
+	"crosslayer/internal/field"
+	"crosslayer/internal/monitor"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/solver"
+	"crosslayer/internal/staging"
+	"crosslayer/internal/sysmodel"
+)
+
+// Adaptations selects which mechanisms the Engine may execute; disabling
+// all three yields the static baselines the paper compares against.
+type Adaptations struct {
+	Application bool
+	Middleware  bool
+	Resource    bool
+}
+
+// Config assembles a workflow.
+type Config struct {
+	Machine      sysmodel.Machine
+	SimCores     int // N: simulation cores in the cost model
+	StagingCores int // pre-allocated in-transit pool ceiling
+
+	Objective policy.Objective
+	Hints     policy.Hints
+	Enable    Adaptations
+
+	// StaticPlacement is used for every step when Enable.Middleware is
+	// false (the paper's static in-situ / static in-transit baselines).
+	StaticPlacement policy.Placement
+
+	// Isovalues configure the default visualization service.
+	Isovalues []float64
+
+	// Analysis is the analysis service placed by the middleware layer.
+	// Nil selects the paper's isosurface service over Isovalues; the
+	// statistics and subsetting services of internal/analysis plug in the
+	// same way (§5.2.4's extensibility claim).
+	Analysis analysis.Service
+
+	// CellScale maps the real (laptop-size) hierarchy onto the paper-size
+	// problem: every cell and byte count is multiplied by it before
+	// entering the cost model, so the dynamics (refinement bursts,
+	// imbalance) are real while the magnitudes match the target machine.
+	// Default 1.
+	CellScale float64
+
+	// MemOverhead multiplies raw field bytes into resident simulation
+	// memory (solver scratch, ghost copies, metadata). Default 3.
+	MemOverhead float64
+
+	// LinkDegrade multiplies modeled transfer times (failure injection:
+	// a congested or degraded interconnect). Default 1.
+	LinkDegrade float64
+
+	// MonitorAlpha is the Monitor's EWMA weight (default 0.5).
+	MonitorAlpha float64
+
+	// AnalysisEvery runs analysis only every k-th step (temporal
+	// resolution, our extension of the paper's "temporal adaptation"
+	// mechanism). Default 1 = every step.
+	AnalysisEvery int
+
+	// EnableHybrid allows the middleware layer to split one step's
+	// analysis between in-situ and in-transit (§3's third placement
+	// option): staging gets exactly what it can absorb before the next
+	// step's data, the rest runs in-situ. Requires Enable.Middleware.
+	EnableHybrid bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SimCores == 0 {
+		out.SimCores = 1024
+	}
+	if out.StagingCores == 0 {
+		out.StagingCores = out.SimCores / 16 // the paper's 16:1 ratio
+	}
+	if out.CellScale == 0 {
+		out.CellScale = 1
+	}
+	if out.MemOverhead == 0 {
+		out.MemOverhead = 3
+	}
+	if out.LinkDegrade == 0 {
+		out.LinkDegrade = 1
+	}
+	if len(out.Isovalues) == 0 {
+		out.Isovalues = []float64{1.23, 4.18} // the paper's Fig. 6 isovalues
+	}
+	if out.Analysis == nil {
+		out.Analysis = analysis.NewIsosurface(out.Isovalues...)
+	}
+	if out.AnalysisEvery == 0 {
+		out.AnalysisEvery = 1
+	}
+	return out
+}
+
+// Workflow couples a simulation with the visualization service through the
+// staging space and drives the autonomic adaptation loop.
+type Workflow struct {
+	cfg    Config
+	sim    solver.Simulation
+	svc    analysis.Service
+	space  *staging.Space
+	mon    *monitor.Monitor
+	engine *Engine
+
+	simTL *sysmodel.Timeline
+	pool  *sysmodel.StagingPool
+
+	// model-scale staging occupancy (the real Space stores laptop-scale
+	// blocks; capacity checks happen at model scale).
+	stagingMemUsed int64
+	stagingMemCap  int64
+
+	step   int
+	result Result
+}
+
+// NewWorkflow validates cfg and builds the runtime around sim.
+func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
+	c := cfg.withDefaults()
+	if sim == nil {
+		return nil, fmt.Errorf("core: nil simulation")
+	}
+	if c.SimCores < 1 || c.StagingCores < 1 {
+		return nil, fmt.Errorf("core: need at least one core on each side (N=%d, M=%d)", c.SimCores, c.StagingCores)
+	}
+	h := sim.Hierarchy()
+	w := &Workflow{
+		cfg:           c,
+		sim:           sim,
+		svc:           c.Analysis,
+		space:         staging.NewSpace(max(1, c.StagingCores/8), 0, h.Cfg.Domain),
+		mon:           monitor.New(c.MonitorAlpha),
+		simTL:         sysmodel.NewTimeline("simulation"),
+		pool:          sysmodel.NewStagingPool(c.StagingCores),
+		stagingMemCap: c.Machine.MemPerCore() * int64(c.StagingCores),
+	}
+	w.engine = NewEngine(c)
+	if !c.Enable.Resource {
+		w.pool.Resize(c.StagingCores) // static allocation keeps the full pool
+	}
+	return w, nil
+}
+
+// Monitor exposes the workflow's monitor (read-only use).
+func (w *Workflow) Monitor() *monitor.Monitor { return w.mon }
+
+// Simulation exposes the coupled simulation (e.g. for snapshotting its
+// hierarchy after a run).
+func (w *Workflow) Simulation() solver.Simulation { return w.sim }
+
+// Space exposes the staging space (read-only use in experiments).
+func (w *Workflow) Space() *staging.Space { return w.space }
+
+// Result returns the accumulated run result. EndToEnd and derived fields
+// are finalized on every call, so it is safe to inspect mid-run.
+func (w *Workflow) Result() Result {
+	r := w.result
+	r.EndToEnd = math.Max(w.simTL.FreeAt(), w.pool.FreeAt())
+	r.OverheadSeconds = r.EndToEnd - r.SimSecondsTotal
+	r.StagingUtilization = w.pool.Utilization()
+	r.EnergyJoules = w.cfg.Machine.Energy(w.cfg.SimCores, r.EndToEnd) +
+		w.cfg.Machine.Energy(1, w.pool.CoreSecondsTotal())
+	return r
+}
+
+// scale maps a real count onto the model scale.
+func (w *Workflow) scale(v int64) int64 {
+	return int64(float64(v) * w.cfg.CellScale)
+}
+
+// analysisBlocks extracts the analysis component of every patch of every
+// level as standalone single-component blocks.
+func (w *Workflow) analysisBlocks() []*field.BoxData {
+	h := w.sim.Hierarchy()
+	comp := w.sim.AnalysisComp()
+	var out []*field.BoxData
+	for _, l := range h.Levels {
+		for _, p := range l.Patches {
+			b := field.New(p.Box, 1)
+			copy(b.Comp(0), p.Data.Comp(comp))
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// memSample computes the per-rank memory state at model scale.
+func (w *Workflow) memSample(h *amr.Hierarchy) (used, avail []int64) {
+	perRank := h.BytesPerRank()
+	used = make([]int64, len(perRank))
+	avail = make([]int64, len(perRank))
+	memPerCore := w.cfg.Machine.MemPerCore()
+	// Ranks in the cost model outnumber real ranks; each real rank stands
+	// for SimCores/NRanks model cores, so its per-core share divides out.
+	coresPerRank := float64(w.cfg.SimCores) / float64(len(perRank))
+	for i, b := range perRank {
+		u := int64(float64(w.scale(b)) * w.cfg.MemOverhead / coresPerRank)
+		used[i] = u
+		a := memPerCore - u
+		if a < 0 {
+			a = 0
+		}
+		avail[i] = a
+	}
+	return used, avail
+}
+
+// Step advances the workflow one time step: simulate, monitor, adapt,
+// execute. It returns the step's record.
+func (w *Workflow) Step() StepRecord {
+	c := &w.cfg
+	h := w.sim.Hierarchy()
+
+	// --- 1. simulation advances (real compute), cost modeled ---
+	stats := w.sim.Step()
+	imbalance := sysmodel.ImbalanceFactor(h.CellsPerRank())
+	simSecs := c.Machine.SimTime(w.scale(stats.CellsUpdated), c.SimCores) * imbalance
+	simStart := w.simTL.FreeAt()
+	_, simEnd := w.simTL.Schedule(simStart, simSecs)
+
+	rec := StepRecord{
+		Step:        w.step,
+		Factor:      1,
+		SimSeconds:  simSecs,
+		FinestLevel: stats.FinestLevel,
+	}
+
+	// --- 2. monitor samples the operational state ---
+	blocks := w.analysisBlocks()
+	var rawCells int64
+	for _, b := range blocks {
+		rawCells += b.NumCells()
+	}
+	rawBytes := w.scale(rawCells * 8)
+	rec.BytesProduced = rawBytes
+
+	memUsed, memAvail := w.memSample(h)
+	var maxRankCells int64
+	for _, cells := range h.CellsPerRank() {
+		if cells > maxRankCells {
+			maxRankCells = cells
+		}
+	}
+	coresPerRank := float64(w.cfg.SimCores) / float64(h.Cfg.NRanks)
+	maxRankData := int64(float64(w.scale(maxRankCells*8)) / coresPerRank)
+	sample := monitor.Sample{
+		Step:             w.step,
+		SimSeconds:       simSecs,
+		DataBytes:        rawBytes,
+		DataCells:        w.scale(rawCells),
+		FinestLevel:      stats.FinestLevel,
+		Imbalance:        imbalance,
+		MemUsedPerRank:   memUsed,
+		MemAvailPerRank:  memAvail,
+		StagingMemUsed:   w.stagingMemUsed,
+		StagingMemCap:    w.stagingMemCap,
+		StagingCores:     w.pool.Cores(),
+		StagingBusy:      w.pool.RemainingAt(simEnd),
+		MaxRankDataBytes: maxRankData,
+	}
+	w.mon.Record(sample)
+	rec.PeakMemBytes = sample.MaxMemUsed()
+	rec.MinMemAvail = sample.MinMemAvail()
+	rec.MaxRankDataBytes = sample.MaxRankDataBytes
+
+	// --- 3. adaptation engine decides; 4. decisions execute ---
+	analyze := w.step%c.AnalysisEvery == 0
+	if analyze {
+		w.runAnalysis(&rec, blocks, sample, simEnd)
+	}
+
+	// account the staging pool through this step's span for Eq. 12
+	span := math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) - math.Max(simStart, 0)
+	if prev := len(w.result.Steps); prev > 0 {
+		span = math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) -
+			math.Max(w.result.Steps[prev-1].SimClock, w.result.Steps[prev-1].StagingClock)
+	}
+	w.pool.AccountSpan(span)
+
+	rec.SimClock = w.simTL.FreeAt()
+	rec.StagingClock = w.pool.FreeAt()
+	rec.StagingCores = w.pool.Cores()
+	rec.StagingMemUsed = w.stagingMemUsed
+
+	w.result.Steps = append(w.result.Steps, rec)
+	w.result.SimSecondsTotal += simSecs
+	w.result.BytesMovedTotal += rec.BytesMoved
+	if analyze {
+		if rec.Placement == policy.PlaceInSitu {
+			w.result.InSituSteps++
+		} else {
+			w.result.InTransitSteps++
+		}
+	}
+	w.step++
+	return rec
+}
+
+// Run advances the workflow `steps` steps and returns the final result.
+func (w *Workflow) Run(steps int) Result {
+	for i := 0; i < steps; i++ {
+		w.Step()
+	}
+	return w.Result()
+}
+
+// runAnalysis performs the adaptation decisions and executes the analysis
+// for one step's data.
+func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample monitor.Sample, dataReady float64) {
+	c := &w.cfg
+
+	// Application layer: choose and apply the reduction.
+	reduced, dec := w.engine.AdaptApplication(blocks, sample, w.step)
+	rec.Factor = dec.Factor
+	rec.Entropy = dec.MeanEntropy
+	var redCells int64
+	for _, b := range reduced {
+		redCells += b.NumCells()
+	}
+	redBytes := w.scale(redCells * 8)
+	rec.BytesAnalyzed = redBytes
+	if dec.Applied {
+		rec.ReduceSeconds = c.Machine.ReduceTime(sample.DataCells, c.SimCores)
+		_, dataReady = w.simTL.Schedule(dataReady, rec.ReduceSeconds)
+	}
+
+	// Resource layer: size the staging pool for this data volume.
+	if c.Enable.Resource {
+		m := w.engine.AdaptResource(redBytes, w.scale(redCells), sample, w.mon)
+		w.pool.Resize(m)
+	}
+
+	// Middleware layer: place the analysis.
+	transfer := c.Machine.TransferTime(redBytes, min(c.SimCores, w.pool.Cores())) * c.LinkDegrade
+	placement, reason := w.engine.AdaptMiddleware(PlacementState{
+		ReducedBytes:     redBytes,
+		ReducedCells:     w.scale(redCells),
+		Sample:           sample,
+		StagingCores:     w.pool.Cores(),
+		StagingRemaining: w.pool.RemainingAt(dataReady),
+		TransferSeconds:  transfer,
+		StagingMemUsed:   w.stagingMemUsed,
+		StagingMemCap:    w.stagingMemCap,
+	})
+	rec.Placement = placement
+	rec.PlacementReason = reason
+
+	// Hybrid placement: when enabled and both sides could host the work,
+	// split the blocks so staging gets exactly what it can absorb before
+	// the next step's data and the rest runs in-situ.
+	if c.EnableHybrid && c.Enable.Middleware {
+		phi := w.engine.HybridFraction(PlacementState{
+			ReducedBytes:     redBytes,
+			ReducedCells:     w.scale(redCells),
+			Sample:           sample,
+			StagingCores:     w.pool.Cores(),
+			StagingRemaining: w.pool.RemainingAt(dataReady),
+			TransferSeconds:  transfer,
+		}, w.mon.PredictSimSeconds(sample.SimSeconds))
+		if phi > 0 && phi < 1 {
+			inSituBlocks, shipBlocks := splitBlocks(reduced, phi)
+			rec.HybridFrac = phi
+			rec.Placement = placement
+			rec.PlacementReason = fmt.Sprintf("hybrid: %.0f%% in-situ, %.0f%% shipped", 100*phi, 100*(1-phi))
+			w.runInSitu(rec, inSituBlocks, sample, dataReady)
+			w.runInTransit(rec, shipBlocks, dataReady)
+			return
+		}
+	}
+
+	switch placement {
+	case policy.PlaceInSitu:
+		rec.HybridFrac = 1
+		w.runInSitu(rec, reduced, sample, dataReady)
+	case policy.PlaceInTransit:
+		rec.HybridFrac = 0
+		w.runInTransit(rec, reduced, dataReady)
+	}
+}
+
+// splitBlocks partitions blocks so the first part holds roughly the given
+// fraction of the total cells.
+func splitBlocks(blocks []*field.BoxData, frac float64) (first, second []*field.BoxData) {
+	var total int64
+	for _, b := range blocks {
+		total += b.NumCells()
+	}
+	target := int64(frac * float64(total))
+	var acc int64
+	for _, b := range blocks {
+		if acc < target {
+			first = append(first, b)
+			acc += b.NumCells()
+		} else {
+			second = append(second, b)
+		}
+	}
+	return first, second
+}
+
+// runInSitu executes analysis on the simulation cores, serialized after
+// the step (and after reduction): the D_i term of Eq. 4. Data-local
+// analysis inherits the simulation's data imbalance — the slowest rank
+// gates the step.
+func (w *Workflow) runInSitu(rec *StepRecord, blocks []*field.BoxData, sample monitor.Sample, dataReady float64) {
+	if len(blocks) == 0 {
+		return
+	}
+	c := &w.cfg
+	dx0 := 1.0 / float64(w.sim.Hierarchy().Cfg.Domain.Size().MaxComp())
+	rep := w.svc.Analyze(blocks, 0, dx0)
+	secs := c.Machine.AnalysisTime(w.scale(rep.CellsSwept), c.SimCores) * sample.Imbalance
+	w.simTL.Schedule(dataReady, secs)
+	rec.AnalysisSeconds += secs
+	rec.Triangles += int(rep.Metrics["triangles"])
+}
+
+// runInTransit ships blocks into the staging space (real put), pays the
+// asynchronous send on the simulation side, then runs analysis on the
+// staging pool.
+func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64) {
+	if len(blocks) == 0 {
+		return
+	}
+	c := &w.cfg
+	dx0 := 1.0 / float64(w.sim.Hierarchy().Cfg.Domain.Size().MaxComp())
+	var cells int64
+	for _, b := range blocks {
+		cells += b.NumCells()
+	}
+	bytes := w.scale(cells * 8)
+	transfer := c.Machine.TransferTime(bytes, min(c.SimCores, w.pool.Cores())) * c.LinkDegrade
+
+	version := w.step
+	for _, b := range blocks {
+		if err := w.space.Put("analysis", version, b); err != nil {
+			// The real store is unlimited; failure here is a bug.
+			panic(fmt.Sprintf("core: staging put failed: %v", err))
+		}
+	}
+	w.stagingMemUsed += bytes
+	rec.BytesMoved += bytes
+	rec.TransferSeconds += transfer
+	// The asynchronous send costs the simulation a fraction of the
+	// transfer (paper: "the time send/receive data is much smaller than
+	// the time to process data").
+	w.simTL.Schedule(dataReady, transfer*0.1)
+
+	// Blocks carry their own level's index coordinates; a region covering
+	// the finest level's index space contains every level's boxes.
+	h := w.sim.Hierarchy()
+	queryRegion := h.Cfg.Domain
+	for li := 0; li < h.FinestLevel(); li++ {
+		queryRegion = queryRegion.Refine(h.Cfg.RefRatio)
+	}
+	got, err := w.space.GetBlocks("analysis", version, queryRegion)
+	if err != nil {
+		panic(fmt.Sprintf("core: staging get failed: %v", err))
+	}
+	rep := w.svc.Analyze(got, 0, dx0)
+	// The staging side first receives and indexes the data (its servers —
+	// one per staging node — do that work), then analyzes.
+	stagingNodes := max(1, w.pool.Cores()/c.Machine.CoresPerNode)
+	recv := c.Machine.TransferTime(bytes, stagingNodes) * c.LinkDegrade
+	coreSecs := c.Machine.AnalysisTime(w.scale(rep.CellsSwept), 1) +
+		recv*float64(w.pool.Cores())
+	_, done := w.pool.RunJob(dataReady+transfer, coreSecs)
+	rec.AnalysisSeconds += done - (dataReady + transfer)
+	rec.Triangles += int(rep.Metrics["triangles"])
+
+	// The staged version is consumed; free its memory.
+	w.space.DropBefore("analysis", version+1)
+	w.stagingMemUsed -= bytes
+	if w.stagingMemUsed < 0 {
+		w.stagingMemUsed = 0
+	}
+}

@@ -1,0 +1,136 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+func data(vals ...float64) *field.BoxData {
+	n := len(vals)
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(n, 1, 1)), 1)
+	copy(d.Comp(0), vals)
+	return d
+}
+
+func TestHistogramBasic(t *testing.T) {
+	d := data(0, 0.1, 0.6, 0.9)
+	h := Histogram(d, 0, 2, 0, 1)
+	if h[0] != 2 || h[1] != 2 {
+		t.Errorf("Histogram = %v", h)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	d := data(-5, 0.5, 99)
+	h := Histogram(d, 0, 4, 0, 1)
+	var total int64
+	for _, n := range h {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("histogram lost values: %v", h)
+	}
+	if h[0] < 1 || h[3] < 1 {
+		t.Errorf("outliers not clamped to edges: %v", h)
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	d := data(1, 1, 1)
+	h := Histogram(d, 0, 4, 1, 1)
+	if h[0] != 3 {
+		t.Errorf("degenerate range histogram = %v", h)
+	}
+}
+
+func TestFromCountsUniform(t *testing.T) {
+	// Uniform over 2^k bins has entropy exactly k bits.
+	for _, k := range []int{1, 2, 3, 6} {
+		n := 1 << uint(k)
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = 10
+		}
+		if got := FromCounts(counts); math.Abs(got-float64(k)) > 1e-12 {
+			t.Errorf("uniform over %d bins: H = %v, want %d", n, got, k)
+		}
+	}
+}
+
+func TestFromCountsDegenerate(t *testing.T) {
+	if got := FromCounts([]int64{100, 0, 0}); got != 0 {
+		t.Errorf("concentrated distribution H = %v, want 0", got)
+	}
+	if got := FromCounts(nil); got != 0 {
+		t.Errorf("empty counts H = %v, want 0", got)
+	}
+	if got := FromCounts([]int64{0, 0}); got != 0 {
+		t.Errorf("all-zero counts H = %v, want 0", got)
+	}
+}
+
+func TestFromCountsBounds(t *testing.T) {
+	// 0 <= H <= log2(nbins) for arbitrary non-negative counts.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		h := FromCounts(counts)
+		return h >= 0 && h <= math.Log2(float64(len(counts)))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockConstantZero(t *testing.T) {
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(4, 4, 4)), 1)
+	d.FillAll(3.7)
+	if got := Block(d, 0, 32); got != 0 {
+		t.Errorf("constant block H = %v, want 0", got)
+	}
+}
+
+func TestBlockOrdersByInformation(t *testing.T) {
+	// A noisy block must carry more entropy than a two-valued block.
+	rng := rand.New(rand.NewSource(11))
+	noisy := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(8, 8, 8)), 1)
+	for i := range noisy.Comp(0) {
+		noisy.Comp(0)[i] = rng.Float64()
+	}
+	binary := field.New(noisy.Box, 1)
+	for i := range binary.Comp(0) {
+		binary.Comp(0)[i] = float64(i % 2)
+	}
+	hn, hb := Block(noisy, 0, 64), Block(binary, 0, 64)
+	if hn <= hb {
+		t.Errorf("noise H=%v not above binary H=%v", hn, hb)
+	}
+	if hb < 0.99 || hb > 1.01 {
+		t.Errorf("binary block H = %v, want ~1 bit", hb)
+	}
+}
+
+func TestBlockGlobalComparable(t *testing.T) {
+	// Two blocks with identical local structure but different ranges get
+	// different global entropies when measured on a common scale.
+	a := data(0, 0.01, 0.02, 0.03)
+	b := data(0, 0.3, 0.6, 0.9)
+	ha := BlockGlobal(a, 0, 16, 0, 1)
+	hb := BlockGlobal(b, 0, 16, 0, 1)
+	if ha >= hb {
+		t.Errorf("narrow-range block H=%v should be below wide-range block H=%v on a global scale", ha, hb)
+	}
+	if got := BlockGlobal(a, 0, 16, 1, 1); got != 0 {
+		t.Errorf("degenerate global range H = %v", got)
+	}
+}

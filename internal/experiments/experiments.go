@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each Fig*/Table* function builds the workload the paper
+// describes (scaled per DESIGN.md's substitution table), runs it through
+// the cross-layer runtime, and returns the same rows/series the paper
+// plots. The cmd/xlayer CLI and the root bench suite both drive these.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/core"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/solver"
+	"crosslayer/internal/sysmodel"
+)
+
+// Scale describes one column of the paper's scaling studies (Figs. 7–11,
+// Table 2): N simulation cores with the paper's 16:1 staging ratio and the
+// grid the paper assigns to that scale.
+type Scale struct {
+	Label        string
+	SimCores     int
+	StagingCores int
+	PaperDomain  grid.IntVect // the paper's grid at this scale
+	RealRanks    int          // virtual ranks the laptop-scale kernels run on
+}
+
+// PaperScales returns the paper's four evaluation scales (§5.2.2): 2K, 4K,
+// 8K and 16K AMR cores with 16:1 staging and the matching grid domains.
+func PaperScales() []Scale {
+	return []Scale{
+		{"2K", 2048, 128, grid.IV(1024, 1024, 512), 12},
+		{"4K", 4096, 256, grid.IV(1024, 1024, 1024), 16},
+		{"8K", 8192, 512, grid.IV(2048, 1024, 1024), 20},
+		{"16K", 16384, 1024, grid.IV(2048, 2048, 1024), 22},
+	}
+}
+
+// titanMachine and intrepidMachine are the cost-model platforms for the
+// scaling and memory experiments respectively.
+func titanMachine() sysmodel.Machine { return sysmodel.Titan() }
+
+func intrepidMachine() sysmodel.Machine { return sysmodel.Intrepid() }
+
+// realDomain is the laptop-scale domain the kernels actually run on; the
+// cost model scales the work up to PaperDomain.
+func realDomain() grid.Box { return grid.NewBox(grid.IV(0, 0, 0), grid.IV(23, 23, 23)) }
+
+// cellScale computes the cost-model multiplier mapping the real domain onto
+// the paper's domain at a given scale.
+func cellScale(paper grid.IntVect) float64 {
+	real := realDomain().NumCells()
+	return float64(paper.Product()) / float64(real)
+}
+
+// newAdvSim builds the Advection-Diffusion workload (§5.2.2 experiments).
+func newAdvSim(nranks int) solver.Simulation {
+	return solver.NewAdvectionDiffusion(solver.AdvDiffConfig{
+		AMR: amr.Config{
+			Domain:     realDomain(),
+			MaxLevel:   1,
+			RefRatio:   2,
+			MaxBoxSize: 12,
+			NRanks:     nranks,
+			Periodic:   true,
+		},
+	})
+}
+
+// newGasSim builds the Polytropic Gas workload (§5.2.1/5.2.3 experiments).
+// A secondary blast keeps the data volume erratically growing, as in the
+// paper's Fig. 1 profile.
+func newGasSim(nranks, secondaryStep int) solver.Simulation {
+	return solver.NewPolytropicGas(solver.GasConfig{
+		AMR: amr.Config{
+			Domain:     realDomain(),
+			MaxLevel:   1,
+			RefRatio:   2,
+			MaxBoxSize: 12,
+			NRanks:     nranks,
+		},
+		SecondaryStep: secondaryStep,
+	})
+}
+
+// paperHints returns §5.2.1's user-defined factor ranges: {2,4} for the
+// first half of the run, {2,4,8,16} for the second.
+func paperHints(totalSteps int) policy.Hints {
+	return policy.Hints{
+		Mode: policy.AppRangeBased,
+		FactorPhases: []policy.FactorPhase{
+			{FromStep: 0, Factors: []int{2, 4}},
+			{FromStep: totalSteps / 2, Factors: []int{2, 4, 8, 16}},
+		},
+	}
+}
+
+// writeTable renders rows with aligned columns.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// runWorkflow is the shared driver for the scaling experiments.
+func runWorkflow(cfg core.Config, sim solver.Simulation, steps int) core.Result {
+	w, err := core.NewWorkflow(cfg, sim)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return w.Run(steps)
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"crosslayer/internal/core"
+	"crosslayer/internal/policy"
+)
+
+// Fig10Case is one scale × adaptation-mode cell of the cross-layer study.
+type Fig10Case struct {
+	Scale     string
+	Mode      string // "Local" (middleware only) or "Global" (cross-layer)
+	SimTime   float64
+	Overhead  float64
+	EndToEnd  float64
+	MovedGB   float64 // feeds Fig. 11
+	InSitu    int
+	InTransit int
+
+	// Table 2 columns: steps whose in-transit analysis actually used
+	// 100% / ≥75% / ≥50% / <50% of the pre-allocated staging cores.
+	Full, ThreeQ, Half, Less int
+}
+
+// Fig10Result reproduces Fig. 10 (end-to-end time with global cross-layer
+// adaptation vs local middleware-only adaptation), Fig. 11 (total data
+// movement of the two) and Table 2 (actual in-transit core usage under the
+// global adaptation). Shape to match: global overhead drops strongly at
+// every scale (paper: 52.16–97.84%), movement drops 5.76–45.93%, and many
+// time steps use only a fraction of the pre-allocated staging cores.
+type Fig10Result struct {
+	Steps int
+	Cases []Fig10Case
+}
+
+// Fig10CrossLayer runs the §5.2.4 configuration — the Fig. 7 workflow plus
+// the §5.2.1 down-sampling hints — in local (middleware-only) and global
+// (application + resource + middleware, objective min time-to-solution)
+// modes at every paper scale. Default 24 steps (see Fig7Placement on the
+// default run length).
+func Fig10CrossLayer(steps int) *Fig10Result {
+	if steps <= 0 {
+		steps = 24
+	}
+	res := &Fig10Result{Steps: steps}
+	for _, sc := range PaperScales() {
+		base := core.Config{
+			Machine:      titanMachine(),
+			SimCores:     sc.SimCores,
+			StagingCores: sc.StagingCores,
+			Objective:    policy.MinTimeToSolution,
+			CellScale:    cellScale(sc.PaperDomain),
+			Hints:        paperHints(steps),
+		}
+		local := base
+		local.Enable = core.Adaptations{Middleware: true}
+		global := base
+		global.Enable = core.Adaptations{Application: true, Middleware: true, Resource: true}
+
+		for _, mode := range []struct {
+			name string
+			cfg  core.Config
+		}{{"Local", local}, {"Global", global}} {
+			r := runWorkflow(mode.cfg, newAdvSim(sc.RealRanks), steps)
+			full, threeQ, half, less := r.CoreUsageHistogram(sc.StagingCores)
+			res.Cases = append(res.Cases, Fig10Case{
+				Scale:     sc.Label,
+				Mode:      mode.name,
+				SimTime:   r.SimSecondsTotal,
+				Overhead:  r.OverheadSeconds,
+				EndToEnd:  r.EndToEnd,
+				MovedGB:   gb(r.BytesMovedTotal),
+				InSitu:    r.InSituSteps,
+				InTransit: r.InTransitSteps,
+				Full:      full, ThreeQ: threeQ, Half: half, Less: less,
+			})
+		}
+	}
+	return res
+}
+
+// Case returns the named cell.
+func (r *Fig10Result) Case(scale, mode string) (Fig10Case, bool) {
+	for _, c := range r.Cases {
+		if c.Scale == scale && c.Mode == mode {
+			return c, true
+		}
+	}
+	return Fig10Case{}, false
+}
+
+// OverheadReductions returns, per scale, the global mode's overhead
+// reduction versus local (the paper's 52.16/84.22/97.84/88.87%).
+func (r *Fig10Result) OverheadReductions() map[string]float64 {
+	out := make(map[string]float64)
+	for _, sc := range PaperScales() {
+		lo, ok1 := r.Case(sc.Label, "Local")
+		gl, ok2 := r.Case(sc.Label, "Global")
+		if !ok1 || !ok2 || lo.Overhead == 0 {
+			continue
+		}
+		out[sc.Label] = 100 * (1 - gl.Overhead/lo.Overhead)
+	}
+	return out
+}
+
+// MovementReductions returns, per scale, global vs local data movement
+// (Fig. 11's 45.93/17.25/5.76/32.41%).
+func (r *Fig10Result) MovementReductions() map[string]float64 {
+	out := make(map[string]float64)
+	for _, sc := range PaperScales() {
+		lo, ok1 := r.Case(sc.Label, "Local")
+		gl, ok2 := r.Case(sc.Label, "Global")
+		if !ok1 || !ok2 || lo.MovedGB == 0 {
+			continue
+		}
+		out[sc.Label] = 100 * (1 - gl.MovedGB/lo.MovedGB)
+	}
+	return out
+}
+
+// Print renders Fig. 10, Fig. 11 and Table 2.
+func (r *Fig10Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 10 — end-to-end time, global cross-layer vs local middleware adaptation (%d steps)\n", r.Steps)
+	rows := make([][]string, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		rows = append(rows, []string{
+			c.Scale, c.Mode,
+			fmt.Sprintf("%.1f", c.SimTime),
+			fmt.Sprintf("%.2f", c.Overhead),
+			fmt.Sprintf("%.1f", c.EndToEnd),
+			fmt.Sprintf("%d/%d", c.InSitu, c.InTransit),
+		})
+	}
+	writeTable(w, []string{"scale", "mode", "sim s", "overhead s", "end-to-end s", "insitu/intransit"}, rows)
+	fmt.Fprintln(w, "global overhead reduction vs local:")
+	for _, sc := range PaperScales() {
+		if red, ok := r.OverheadReductions()[sc.Label]; ok {
+			fmt.Fprintf(w, "  %s: %.2f%%\n", sc.Label, red)
+		}
+	}
+
+	fmt.Fprintln(w, "\nFig 11 — total data movement, local vs global (GB)")
+	rows = rows[:0]
+	for _, sc := range PaperScales() {
+		lo, _ := r.Case(sc.Label, "Local")
+		gl, _ := r.Case(sc.Label, "Global")
+		rows = append(rows, []string{
+			sc.Label,
+			fmt.Sprintf("%.1f", lo.MovedGB),
+			fmt.Sprintf("%.1f", gl.MovedGB),
+			fmt.Sprintf("%.2f%%", r.MovementReductions()[sc.Label]),
+		})
+	}
+	writeTable(w, []string{"scale", "local GB", "global GB", "reduction"}, rows)
+
+	fmt.Fprintln(w, "\nTable 2 — actual in-transit core usage under global adaptation")
+	rows = rows[:0]
+	for _, sc := range PaperScales() {
+		gl, _ := r.Case(sc.Label, "Global")
+		rows = append(rows, []string{
+			fmt.Sprintf("%d:%d", sc.SimCores, sc.StagingCores),
+			fmt.Sprint(gl.InSitu + gl.InTransit),
+			fmt.Sprint(gl.Full), fmt.Sprint(gl.ThreeQ), fmt.Sprint(gl.Half), fmt.Sprint(gl.Less),
+		})
+	}
+	writeTable(w, []string{"sim:staging", "analyzed steps", "100%", "75%", "50%", "<50%"}, rows)
+}

@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the decomposition and box algebra beyond the basic
+// unit tests: these exercise randomized shapes the AMR machinery feeds in.
+
+func randomBox(rng *rand.Rand, span int) Box {
+	lo := IV(rng.Intn(span)-span/2, rng.Intn(span)-span/2, rng.Intn(span)-span/2)
+	size := IV(rng.Intn(span)+1, rng.Intn(span)+1, rng.Intn(span)+1)
+	return BoxFromSize(lo, size)
+}
+
+func TestDecomposeAlignedProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		dom := randomBox(rng, 24)
+		align := []int{2, 4}[rng.Intn(2)]
+		maxSize := rng.Intn(12) + align
+		parts := DecomposeAligned(dom, maxSize, align)
+
+		var cells int64
+		for pi, p := range parts {
+			if p.IsEmpty() {
+				t.Fatalf("empty part from %v", dom)
+			}
+			if !dom.ContainsBox(p) {
+				t.Fatalf("part %v escapes %v", p, dom)
+			}
+			cells += p.NumCells()
+			for pj := pi + 1; pj < len(parts); pj++ {
+				if p.Intersects(parts[pj]) {
+					t.Fatalf("overlapping parts %v %v", p, parts[pj])
+				}
+			}
+			// Interior chop planes only at aligned indices: every part
+			// boundary is either the domain boundary or aligned.
+			for d := 0; d < 3; d++ {
+				if lo := p.Lo.Comp(d); lo != dom.Lo.Comp(d) && mod(lo, align) != 0 {
+					t.Fatalf("part %v has misaligned low face dim %d (align %d, dom %v)", p, d, align, dom)
+				}
+				if hi := p.Hi.Comp(d) + 1; hi != dom.Hi.Comp(d)+1 && mod(hi, align) != 0 {
+					t.Fatalf("part %v has misaligned high face dim %d (align %d, dom %v)", p, d, align, dom)
+				}
+			}
+		}
+		if cells != dom.NumCells() {
+			t.Fatalf("parts cover %d cells of %d for %v", cells, dom.NumCells(), dom)
+		}
+	}
+}
+
+func mod(a, b int) int {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func TestGrowShrinkInverseProperty(t *testing.T) {
+	f := func(lox, loy, loz int8, sx, sy, sz, n uint8) bool {
+		b := BoxFromSize(IV(int(lox), int(loy), int(loz)),
+			IV(int(sx%12)+1, int(sy%12)+1, int(sz%12)+1))
+		g := int(n % 5)
+		return b.Grow(g).Grow(-g) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionCommutativeAndContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 300; i++ {
+		a, b := randomBox(rng, 16), randomBox(rng, 16)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			t.Fatalf("intersection not commutative: %v vs %v", ab, ba)
+		}
+		if !ab.IsEmpty() && (!a.ContainsBox(ab) || !b.ContainsBox(ab)) {
+			t.Fatalf("intersection %v escapes operands %v %v", ab, a, b)
+		}
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			t.Fatalf("union %v does not contain operands", u)
+		}
+	}
+}
+
+func TestRefineMonotoneProperty(t *testing.T) {
+	// a ⊆ b ⇒ refine(a) ⊆ refine(b) and coarsen(a) ⊆ coarsen(b).
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		b := randomBox(rng, 16)
+		if b.NumCells() < 8 {
+			continue
+		}
+		inner := Box{b.Lo.Add(Unit), b.Hi.Sub(Unit)}
+		if inner.IsEmpty() {
+			continue
+		}
+		r := []int{2, 4}[rng.Intn(2)]
+		if !b.Refine(r).ContainsBox(inner.Refine(r)) {
+			t.Fatalf("refine not monotone for %v ⊆ %v", inner, b)
+		}
+		if !b.Coarsen(r).ContainsBox(inner.Coarsen(r)) {
+			t.Fatalf("coarsen not monotone for %v ⊆ %v", inner, b)
+		}
+	}
+}
+
+func TestAssignCompleteAndContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 100; i++ {
+		dom := BoxFromSize(IV(0, 0, 0), IV(rng.Intn(24)+8, rng.Intn(24)+8, rng.Intn(24)+8))
+		boxes := Decompose(dom, rng.Intn(8)+4)
+		MortonSort(boxes)
+		n := rng.Intn(7) + 1
+		owners := Assign(boxes, n)
+		if len(owners) != len(boxes) {
+			t.Fatal("owner slice length mismatch")
+		}
+		for j := 1; j < len(owners); j++ {
+			if owners[j] < owners[j-1] {
+				t.Fatal("non-contiguous assignment")
+			}
+		}
+		if owners[len(owners)-1] >= n {
+			t.Fatal("owner out of range")
+		}
+	}
+}

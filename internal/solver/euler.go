@@ -1,0 +1,474 @@
+package solver
+
+import (
+	"math"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// Components of the conserved Euler state vector.
+const (
+	CompRho = 0 // density
+	CompMx  = 1 // x-momentum
+	CompMy  = 2 // y-momentum
+	CompMz  = 3 // z-momentum
+	CompE   = 4 // total energy
+	NumComp = 5
+)
+
+// GasConfig configures the Polytropic Gas simulation.
+type GasConfig struct {
+	AMR            amr.Config // Domain, ranks, levels, ... (NComp is forced to 5)
+	Gamma          float64    // ratio of specific heats (default 1.4)
+	CFL            float64    // CFL number (default 0.4)
+	GradThresh     float64    // density-gradient tagging threshold (default 0.05)
+	RegridInterval int        // steps between regrids (default 4)
+	Reflux         bool       // Berger–Colella refluxing at coarse-fine interfaces
+
+	// Blast-wave initial condition: ambient gas with an over-pressured
+	// sphere at the domain center, the classic driver of an expanding
+	// shock that AMR chases.
+	AmbientRho    float64 // default 1.0
+	AmbientP      float64 // default 0.1
+	BlastRho      float64 // density inside the blast sphere (default 2.0)
+	BlastP        float64 // default 10.0
+	BlastRadius   float64 // in cells at the base level (default 1/8 of min extent)
+	SecondaryStep int     // if >0, inject a second blast at this step (stresses regridding)
+}
+
+func (c *GasConfig) withDefaults() GasConfig {
+	out := *c
+	if out.Gamma == 0 {
+		out.Gamma = 1.4
+	}
+	if out.CFL == 0 {
+		out.CFL = 0.4
+	}
+	if out.GradThresh == 0 {
+		out.GradThresh = 0.05
+	}
+	if out.RegridInterval == 0 {
+		out.RegridInterval = 4
+	}
+	if out.AmbientRho == 0 {
+		out.AmbientRho = 1.0
+	}
+	if out.AmbientP == 0 {
+		out.AmbientP = 0.1
+	}
+	if out.BlastRho == 0 {
+		out.BlastRho = 2.0
+	}
+	if out.BlastP == 0 {
+		out.BlastP = 10.0
+	}
+	if out.BlastRadius == 0 {
+		out.BlastRadius = float64(out.AMR.Domain.Size().MinComp()) / 8
+	}
+	out.AMR.NComp = NumComp
+	return out
+}
+
+// PolytropicGas is the 3-D compressible Euler solver (ideal gas EOS) on the
+// AMR hierarchy: unsplit Godunov update with minmod-limited MUSCL
+// reconstruction and HLL fluxes. It mirrors the AMR Polytropic Gas example
+// of the Chombo package used throughout the paper's evaluation.
+type PolytropicGas struct {
+	cfg  GasConfig
+	h    *amr.Hierarchy
+	time float64
+	step int
+	dx0  float64 // base-level mesh spacing
+}
+
+// NewPolytropicGas builds the solver and applies the blast-wave initial
+// condition, refining the initial hierarchy around the blast.
+func NewPolytropicGas(cfg GasConfig) *PolytropicGas {
+	c := cfg.withDefaults()
+	s := &PolytropicGas{
+		cfg: c,
+		h:   amr.NewHierarchy(c.AMR),
+		dx0: 1.0 / float64(c.AMR.Domain.Size().MaxComp()),
+	}
+	s.initLevel(0)
+	// Refine around the initial blast before the first step so the shock
+	// is born on fine mesh.
+	for li := 0; li < c.AMR.MaxLevel; li++ {
+		tags := s.h.TagCells(li, CompRho, s.tagThresh(li))
+		prGas := len(tags) > 0
+		s.h.Regrid(li, tags)
+		if !prGas || s.h.FinestLevel() <= li {
+			break
+		}
+		s.initLevel(li + 1)
+	}
+	// Make the initial composite state consistent: the fine levels carry
+	// the initial condition at their own resolution, so the coarse levels
+	// must be averaged down before the first step.
+	s.h.AverageDown()
+	return s
+}
+
+// tagThresh scales the tagging threshold with level (finer levels tag on
+// smaller undivided differences).
+func (s *PolytropicGas) tagThresh(li int) float64 {
+	return s.cfg.GradThresh / float64(int(1)<<uint(li))
+}
+
+// initLevel applies the initial condition to level li.
+func (s *PolytropicGas) initLevel(li int) {
+	l := s.h.Level(li)
+	scale := 1
+	for i := 0; i < li; i++ {
+		scale *= s.h.Cfg.RefRatio
+	}
+	ctr := s.cfg.AMR.Domain.Center()
+	cx := (float64(ctr.X) + 0.5) * float64(scale)
+	cy := (float64(ctr.Y) + 0.5) * float64(scale)
+	cz := (float64(ctr.Z) + 0.5) * float64(scale)
+	radius := s.cfg.BlastRadius * float64(scale)
+	g1 := s.cfg.Gamma - 1
+	for _, p := range l.Patches {
+		p.Box.ForEach(func(q grid.IntVect) {
+			dx := float64(q.X) + 0.5 - cx
+			dy := float64(q.Y) + 0.5 - cy
+			dz := float64(q.Z) + 0.5 - cz
+			rho, pr := s.cfg.AmbientRho, s.cfg.AmbientP
+			if math.Sqrt(dx*dx+dy*dy+dz*dz) < radius {
+				rho, pr = s.cfg.BlastRho, s.cfg.BlastP
+			}
+			p.Data.Set(q, CompRho, rho)
+			p.Data.Set(q, CompMx, 0)
+			p.Data.Set(q, CompMy, 0)
+			p.Data.Set(q, CompMz, 0)
+			p.Data.Set(q, CompE, pr/g1)
+		})
+	}
+}
+
+// injectBlast deposits a second over-pressured sphere off-center, forcing
+// fresh refinement mid-run (used to reproduce the erratic data-volume
+// growth of the paper's Fig. 1 profile).
+func (s *PolytropicGas) injectBlast() {
+	g1 := s.cfg.Gamma - 1
+	for li, l := range s.h.Levels {
+		scale := 1
+		for i := 0; i < li; i++ {
+			scale *= s.h.Cfg.RefRatio
+		}
+		sz := s.cfg.AMR.Domain.Size()
+		cx := (float64(sz.X)*0.25 + 0.5) * float64(scale)
+		cy := (float64(sz.Y)*0.25 + 0.5) * float64(scale)
+		cz := (float64(sz.Z)*0.25 + 0.5) * float64(scale)
+		radius := s.cfg.BlastRadius * float64(scale) * 0.75
+		for _, p := range l.Patches {
+			p.Box.ForEach(func(q grid.IntVect) {
+				dx := float64(q.X) + 0.5 - cx
+				dy := float64(q.Y) + 0.5 - cy
+				dz := float64(q.Z) + 0.5 - cz
+				if math.Sqrt(dx*dx+dy*dy+dz*dz) < radius {
+					p.Data.Set(q, CompE, p.Data.Get(q, CompE)+s.cfg.BlastP/g1)
+				}
+			})
+		}
+	}
+}
+
+// Name implements Simulation.
+func (s *PolytropicGas) Name() string { return "AMRPolytropicGas" }
+
+// Hierarchy implements Simulation.
+func (s *PolytropicGas) Hierarchy() *amr.Hierarchy { return s.h }
+
+// Time implements Simulation.
+func (s *PolytropicGas) Time() float64 { return s.time }
+
+// AnalysisComp implements Simulation: visualization extracts isosurfaces of
+// density.
+func (s *PolytropicGas) AnalysisComp() int { return CompRho }
+
+// prim holds the primitive state of one cell.
+type prim struct {
+	rho, u, v, w, p float64
+}
+
+func (s *PolytropicGas) toPrim(d *field.BoxData, q grid.IntVect) prim {
+	rho := d.Get(q, CompRho)
+	if rho < 1e-12 {
+		rho = 1e-12
+	}
+	u := d.Get(q, CompMx) / rho
+	v := d.Get(q, CompMy) / rho
+	w := d.Get(q, CompMz) / rho
+	e := d.Get(q, CompE)
+	pr := (s.cfg.Gamma - 1) * (e - 0.5*rho*(u*u+v*v+w*w))
+	if pr < 1e-12 {
+		pr = 1e-12
+	}
+	return prim{rho, u, v, w, pr}
+}
+
+// flux computes the Euler flux of state pm along direction d.
+func (s *PolytropicGas) flux(pm prim, d int) [NumComp]float64 {
+	vel := [3]float64{pm.u, pm.v, pm.w}
+	vn := vel[d]
+	e := pm.p/(s.cfg.Gamma-1) + 0.5*pm.rho*(pm.u*pm.u+pm.v*pm.v+pm.w*pm.w)
+	var f [NumComp]float64
+	f[CompRho] = pm.rho * vn
+	f[CompMx] = pm.rho * pm.u * vn
+	f[CompMy] = pm.rho * pm.v * vn
+	f[CompMz] = pm.rho * pm.w * vn
+	f[CompMx+d] += pm.p
+	f[CompE] = (e + pm.p) * vn
+	return f
+}
+
+func (s *PolytropicGas) sound(pm prim) float64 {
+	return math.Sqrt(s.cfg.Gamma * pm.p / pm.rho)
+}
+
+// hll computes the HLL approximate Riemann flux between left and right
+// states along direction d.
+func (s *PolytropicGas) hll(left, right prim, d int) [NumComp]float64 {
+	vl := [3]float64{left.u, left.v, left.w}[d]
+	vr := [3]float64{right.u, right.v, right.w}[d]
+	cl, cr := s.sound(left), s.sound(right)
+	sl := math.Min(vl-cl, vr-cr)
+	sr := math.Max(vl+cl, vr+cr)
+	fl := s.flux(left, d)
+	fr := s.flux(right, d)
+	if sl >= 0 {
+		return fl
+	}
+	if sr <= 0 {
+		return fr
+	}
+	ul := s.conserved(left)
+	ur := s.conserved(right)
+	var f [NumComp]float64
+	inv := 1.0 / (sr - sl)
+	for c := 0; c < NumComp; c++ {
+		f[c] = (sr*fl[c] - sl*fr[c] + sl*sr*(ur[c]-ul[c])) * inv
+	}
+	return f
+}
+
+func (s *PolytropicGas) conserved(pm prim) [NumComp]float64 {
+	e := pm.p/(s.cfg.Gamma-1) + 0.5*pm.rho*(pm.u*pm.u+pm.v*pm.v+pm.w*pm.w)
+	return [NumComp]float64{pm.rho, pm.rho * pm.u, pm.rho * pm.v, pm.rho * pm.w, e}
+}
+
+func minmod(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if math.Abs(a) < math.Abs(b) {
+		return a
+	}
+	return b
+}
+
+// maxWaveSpeed scans the hierarchy for max(|v_d|)+c.
+func (s *PolytropicGas) maxWaveSpeed() float64 {
+	speed := 1e-12
+	for _, l := range s.h.Levels {
+		for _, p := range l.Patches {
+			p.Box.ForEach(func(q grid.IntVect) {
+				pm := s.toPrim(p.Data, q)
+				c := s.sound(pm)
+				v := math.Max(math.Abs(pm.u), math.Max(math.Abs(pm.v), math.Abs(pm.w)))
+				if v+c > speed {
+					speed = v + c
+				}
+			})
+		}
+	}
+	return speed
+}
+
+// Step implements Simulation: one explicit update of every level with a
+// shared CFL time step, followed by restriction and periodic regridding.
+func (s *PolytropicGas) Step() StepStats {
+	if s.cfg.SecondaryStep > 0 && s.step == s.cfg.SecondaryStep {
+		s.injectBlast()
+	}
+
+	finest := s.h.FinestLevel()
+	dxFine := s.dx0
+	for i := 0; i < finest; i++ {
+		dxFine /= float64(s.h.Cfg.RefRatio)
+	}
+	dt := s.cfg.CFL * dxFine / s.maxWaveSpeed()
+
+	// Flux registers (one per fine level) capture coarse and fine fluxes at
+	// the coarse-fine boundaries during the sweeps, then correct the
+	// uncovered coarse cells so the composite update is conservative.
+	var regs []*amr.FluxRegister // regs[li] registers fine level li (nil for level 0)
+	if s.cfg.Reflux {
+		regs = make([]*amr.FluxRegister, s.h.FinestLevel()+2)
+		for li := 1; li <= s.h.FinestLevel(); li++ {
+			regs[li] = amr.NewFluxRegister(s.h, li)
+		}
+	}
+	regAt := func(li int) *amr.FluxRegister {
+		if regs == nil || li < 1 || li >= len(regs) {
+			return nil
+		}
+		return regs[li]
+	}
+
+	var cells int64
+	for li := 0; li <= s.h.FinestLevel(); li++ {
+		cells += s.advanceLevel(li, dt, regAt(li), regAt(li+1))
+	}
+	if s.cfg.Reflux {
+		dx := s.dx0
+		for li := 1; li <= s.h.FinestLevel(); li++ {
+			if reg := regAt(li); reg != nil {
+				reg.Reflux(s.h.Level(li-1), dt/dx)
+			}
+			dx /= float64(s.h.Cfg.RefRatio)
+		}
+	}
+	s.h.AverageDown()
+
+	regridded := false
+	if s.step > 0 && s.step%s.cfg.RegridInterval == 0 {
+		for li := 0; li < s.cfg.AMR.MaxLevel && li <= s.h.FinestLevel(); li++ {
+			tags := s.h.TagCells(li, CompRho, s.tagThresh(li))
+			s.h.Regrid(li, tags)
+		}
+		regridded = true
+	}
+
+	s.time += dt
+	s.step++
+	return StepStats{
+		StepIndex:    s.step - 1,
+		Dt:           dt,
+		CellsUpdated: cells,
+		Regridded:    regridded,
+		FinestLevel:  s.h.FinestLevel(),
+	}
+}
+
+// advanceLevel performs the unsplit Godunov update of level li. regSelf
+// (non-nil when li ≥ 1 and refluxing is on) accumulates this level's
+// boundary fluxes as the fine side of its coarse-fine interface; regAbove
+// records this level's fluxes as the coarse side of level li+1's interface.
+func (s *PolytropicGas) advanceLevel(li int, dt float64, regSelf, regAbove *amr.FluxRegister) int64 {
+	l := s.h.Level(li)
+	dx := s.dx0
+	for i := 0; i < li; i++ {
+		dx /= float64(s.h.Cfg.RefRatio)
+	}
+	lambda := dt / dx
+
+	// Snapshot ghost-extended data for every patch first (Jacobi update).
+	ghosts := make([]*field.BoxData, len(l.Patches))
+	forEachPatch(len(l.Patches), func(i int) {
+		ghosts[i] = s.h.FillGhost(li, l.Patches[i], 2)
+	})
+
+	var cells int64
+	for _, p := range l.Patches {
+		cells += p.Box.NumCells()
+	}
+
+	forEachPatch(len(l.Patches), func(pi int) {
+		p := l.Patches[pi]
+		g := ghosts[pi]
+		next := p.Data.Clone()
+		// For each direction, sweep faces and apply flux differences.
+		for d := 0; d < 3; d++ {
+			faceBox := p.Box.GrowDir(d, 0) // faces between q-1 and q for q in [Lo, Hi+1] along d
+			lo, hi := faceBox.Lo, faceBox.Hi.WithComp(d, faceBox.Hi.Comp(d)+1)
+			grid.NewBox(lo, hi).ForEach(func(q grid.IntVect) {
+				qm1 := q.WithComp(d, q.Comp(d)-1)
+				qm2 := q.WithComp(d, q.Comp(d)-2)
+				qp1 := q.WithComp(d, q.Comp(d)+1)
+
+				// MUSCL reconstruction with minmod slopes of the primitive
+				// state, per component of the conserved vector (slope of
+				// conserved quantities; simple and robust).
+				var left, right prim
+				{
+					var ul, ur [NumComp]float64
+					for c := 0; c < NumComp; c++ {
+						um2, um1 := g.Get(qm2, c), g.Get(qm1, c)
+						u0, up1 := g.Get(q, c), g.Get(qp1, c)
+						sl := minmod(um1-um2, u0-um1)
+						sr := minmod(u0-um1, up1-u0)
+						ul[c] = um1 + 0.5*sl
+						ur[c] = u0 - 0.5*sr
+					}
+					left = s.primFromConserved(ul)
+					right = s.primFromConserved(ur)
+				}
+				f := s.hll(left, right, d)
+				if regAbove != nil {
+					regAbove.RecordCoarse(q, d, f[:])
+				}
+				if regSelf != nil {
+					regSelf.AccumFine(q, d, f[:])
+				}
+				for c := 0; c < NumComp; c++ {
+					if p.Box.Contains(qm1) {
+						next.Add(qm1, c, -lambda*f[c])
+					}
+					if p.Box.Contains(q) {
+						next.Add(q, c, lambda*f[c])
+					}
+				}
+			})
+		}
+		s.floorState(next)
+		p.Data = next
+	})
+	return cells
+}
+
+// primFromConserved converts a conserved vector to primitives with floors.
+func (s *PolytropicGas) primFromConserved(u [NumComp]float64) prim {
+	rho := u[CompRho]
+	if rho < 1e-12 {
+		rho = 1e-12
+	}
+	vx, vy, vz := u[CompMx]/rho, u[CompMy]/rho, u[CompMz]/rho
+	pr := (s.cfg.Gamma - 1) * (u[CompE] - 0.5*rho*(vx*vx+vy*vy+vz*vz))
+	if pr < 1e-12 {
+		pr = 1e-12
+	}
+	return prim{rho, vx, vy, vz, pr}
+}
+
+// floorState enforces positive density and pressure after an update.
+func (s *PolytropicGas) floorState(d *field.BoxData) {
+	g1 := s.cfg.Gamma - 1
+	d.Box.ForEach(func(q grid.IntVect) {
+		rho := d.Get(q, CompRho)
+		if rho < 1e-10 {
+			rho = 1e-10
+			d.Set(q, CompRho, rho)
+		}
+		u := d.Get(q, CompMx) / rho
+		v := d.Get(q, CompMy) / rho
+		w := d.Get(q, CompMz) / rho
+		ke := 0.5 * rho * (u*u + v*v + w*w)
+		if pr := g1 * (d.Get(q, CompE) - ke); pr < 1e-10 {
+			d.Set(q, CompE, ke+1e-10/g1)
+		}
+	})
+}
+
+// TotalMass returns the integral of density over the base level — a
+// conserved quantity used by the tests.
+func (s *PolytropicGas) TotalMass() float64 {
+	sum := 0.0
+	for _, p := range s.h.Level(0).Patches {
+		sum += p.Data.Sum(CompRho)
+	}
+	return sum
+}

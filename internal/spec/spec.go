@@ -1,0 +1,217 @@
+// Package spec implements a small declarative programming model for
+// coupled workflows — the paper's stated future work ("designing and
+// formalizing corresponding programming model for such cross-layer
+// approach to release users' programming complexity"). A JSON document
+// names the application, platform, scale, objective, hints and enabled
+// mechanisms; Build turns it into a ready-to-run workflow without the user
+// touching the Go API.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/core"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/reduce"
+	"crosslayer/internal/solver"
+	"crosslayer/internal/sysmodel"
+)
+
+// Workflow is the JSON shape of one workflow specification.
+type Workflow struct {
+	// Application: "polytropic-gas" or "advection-diffusion".
+	Application string `json:"application"`
+	// Machine: "titan" or "intrepid".
+	Machine string `json:"machine"`
+
+	// Domain is the base-level grid extent, e.g. [32,32,32].
+	Domain [3]int `json:"domain"`
+	// MaxLevel is the finest refinement level (default 1).
+	MaxLevel int `json:"max_level"`
+	// Ranks is the number of virtual ranks the kernels run on (default 8).
+	Ranks int `json:"ranks"`
+	// Periodic selects periodic domain boundaries.
+	Periodic bool `json:"periodic"`
+	// Subcycle enables Berger–Oliger time stepping (advection-diffusion).
+	Subcycle bool `json:"subcycle"`
+	// Reflux enables conservative refluxing (polytropic gas).
+	Reflux bool `json:"reflux"`
+
+	SimCores     int     `json:"sim_cores"`
+	StagingCores int     `json:"staging_cores"`
+	CellScale    float64 `json:"cell_scale"`
+	Steps        int     `json:"steps"`
+
+	// Objective: "min-time-to-solution" (default),
+	// "max-staging-utilization" or "min-data-movement".
+	Objective string `json:"objective"`
+	// Adapt lists enabled mechanisms: "application", "middleware",
+	// "resource" (empty = static run).
+	Adapt []string `json:"adapt"`
+	// Placement for static runs: "insitu" or "intransit" (default insitu).
+	Placement string `json:"placement"`
+	// Hybrid enables split placement.
+	Hybrid bool `json:"hybrid"`
+
+	// Factors is the hinted down-sampling set for the range-based mode;
+	// EntropyBands selects the entropy mode instead (factor applied below
+	// each threshold).
+	Factors      []int      `json:"factors"`
+	EntropyBands []BandSpec `json:"entropy_bands"`
+
+	Isovalues []float64 `json:"isovalues"`
+}
+
+// BandSpec is one entropy band in JSON form.
+type BandSpec struct {
+	Below  float64 `json:"below"`
+	Factor int     `json:"factor"`
+}
+
+// Parse reads and validates a JSON workflow specification.
+func Parse(r io.Reader) (*Workflow, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var w Workflow
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+func (w *Workflow) validate() error {
+	switch w.Application {
+	case "polytropic-gas", "advection-diffusion":
+	case "":
+		return fmt.Errorf("spec: application is required")
+	default:
+		return fmt.Errorf("spec: unknown application %q", w.Application)
+	}
+	switch w.Machine {
+	case "", "titan", "intrepid":
+	default:
+		return fmt.Errorf("spec: unknown machine %q", w.Machine)
+	}
+	for _, d := range w.Domain {
+		if d < 8 {
+			return fmt.Errorf("spec: domain extents must be >= 8, got %v", w.Domain)
+		}
+	}
+	switch w.Objective {
+	case "", "min-time-to-solution", "max-staging-utilization", "min-data-movement":
+	default:
+		return fmt.Errorf("spec: unknown objective %q", w.Objective)
+	}
+	for _, m := range w.Adapt {
+		switch m {
+		case "application", "middleware", "resource":
+		default:
+			return fmt.Errorf("spec: unknown mechanism %q", m)
+		}
+	}
+	switch w.Placement {
+	case "", "insitu", "intransit":
+	default:
+		return fmt.Errorf("spec: unknown placement %q", w.Placement)
+	}
+	for _, f := range w.Factors {
+		if f < 1 {
+			return fmt.Errorf("spec: invalid factor %d", f)
+		}
+	}
+	if w.Steps < 0 {
+		return fmt.Errorf("spec: negative steps")
+	}
+	return nil
+}
+
+// Build constructs the simulation and workflow the spec describes.
+func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
+	amrCfg := amr.Config{
+		Domain: grid.NewBox(grid.IV(0, 0, 0),
+			grid.IV(w.Domain[0]-1, w.Domain[1]-1, w.Domain[2]-1)),
+		MaxLevel: w.MaxLevel,
+		NRanks:   w.Ranks,
+		Periodic: w.Periodic,
+	}
+	if amrCfg.MaxLevel == 0 {
+		amrCfg.MaxLevel = 1
+	}
+	if amrCfg.NRanks == 0 {
+		amrCfg.NRanks = 8
+	}
+
+	var sim solver.Simulation
+	switch w.Application {
+	case "polytropic-gas":
+		sim = solver.NewPolytropicGas(solver.GasConfig{AMR: amrCfg, Reflux: w.Reflux})
+	case "advection-diffusion":
+		sim = solver.NewAdvectionDiffusion(solver.AdvDiffConfig{AMR: amrCfg, Subcycle: w.Subcycle})
+	}
+
+	cfg := core.Config{
+		SimCores:     w.SimCores,
+		StagingCores: w.StagingCores,
+		CellScale:    w.CellScale,
+		Isovalues:    w.Isovalues,
+		EnableHybrid: w.Hybrid,
+	}
+	switch w.Machine {
+	case "intrepid":
+		cfg.Machine = sysmodel.Intrepid()
+	default:
+		cfg.Machine = sysmodel.Titan()
+	}
+	switch w.Objective {
+	case "max-staging-utilization":
+		cfg.Objective = policy.MaxStagingUtilization
+	case "min-data-movement":
+		cfg.Objective = policy.MinDataMovement
+	default:
+		cfg.Objective = policy.MinTimeToSolution
+	}
+	for _, m := range w.Adapt {
+		switch m {
+		case "application":
+			cfg.Enable.Application = true
+		case "middleware":
+			cfg.Enable.Middleware = true
+		case "resource":
+			cfg.Enable.Resource = true
+		}
+	}
+	if w.Placement == "intransit" {
+		cfg.StaticPlacement = policy.PlaceInTransit
+	}
+	if len(w.EntropyBands) > 0 {
+		cfg.Hints.Mode = policy.AppEntropyBased
+		for _, b := range w.EntropyBands {
+			cfg.Hints.EntropyBands = append(cfg.Hints.EntropyBands,
+				reduce.Band{Below: b.Below, Factor: b.Factor})
+		}
+	} else if len(w.Factors) > 0 {
+		cfg.Hints.Mode = policy.AppRangeBased
+		cfg.Hints.FactorPhases = []policy.FactorPhase{{FromStep: 0, Factors: w.Factors}}
+	}
+
+	wf, err := core.NewWorkflow(cfg, sim)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wf, sim, nil
+}
+
+// StepsOrDefault returns the configured step count (default 20).
+func (w *Workflow) StepsOrDefault() int {
+	if w.Steps <= 0 {
+		return 20
+	}
+	return w.Steps
+}

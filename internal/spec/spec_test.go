@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"crosslayer/internal/policy"
+)
+
+const goodSpec = `{
+	"application": "advection-diffusion",
+	"machine": "titan",
+	"domain": [16, 16, 16],
+	"ranks": 4,
+	"periodic": true,
+	"sim_cores": 1024,
+	"staging_cores": 64,
+	"cell_scale": 500,
+	"steps": 6,
+	"objective": "min-time-to-solution",
+	"adapt": ["application", "middleware", "resource"],
+	"factors": [2, 4],
+	"isovalues": [0.1]
+}`
+
+func TestParseAndBuildRuns(t *testing.T) {
+	w, err := Parse(strings.NewReader(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, sim, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Name() != "AMRAdvectionDiffusion" {
+		t.Errorf("built %s", sim.Name())
+	}
+	res := wf.Run(w.StepsOrDefault())
+	if len(res.Steps) != 6 {
+		t.Fatalf("ran %d steps", len(res.Steps))
+	}
+	for _, s := range res.Steps {
+		if s.Factor < 2 {
+			t.Errorf("step %d: application mechanism inactive", s.Step)
+		}
+	}
+}
+
+func TestParseGasWithReflux(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{
+		"application": "polytropic-gas",
+		"machine": "intrepid",
+		"domain": [16, 16, 16],
+		"reflux": true,
+		"placement": "intransit",
+		"steps": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, sim, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Name() != "AMRPolytropicGas" {
+		t.Error("wrong application")
+	}
+	res := wf.Run(2)
+	for _, s := range res.Steps {
+		if s.Placement != policy.PlaceInTransit {
+			t.Error("static placement not honored")
+		}
+	}
+}
+
+func TestParseEntropyBands(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{
+		"application": "polytropic-gas",
+		"domain": [16, 16, 16],
+		"adapt": ["application", "middleware"],
+		"entropy_bands": [{"below": 2.0, "factor": 4}],
+		"steps": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wf.Run(2)
+	for _, s := range res.Steps {
+		if s.BytesAnalyzed >= s.BytesProduced {
+			t.Error("entropy bands did not reduce anything")
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		`{"domain": [16,16,16]}`,                                 // missing application
+		`{"application": "fluid", "domain": [16,16,16]}`,         // unknown app
+		`{"application": "polytropic-gas", "domain": [2,16,16]}`, // tiny domain
+		`{"application": "polytropic-gas", "domain": [16,16,16], "machine": "summit"}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "objective": "speed"}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "adapt": ["network"]}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "placement": "cloud"}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "factors": [0]}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "steps": -1}`,
+		`{"application": "polytropic-gas", "domain": [16,16,16], "unknown_field": 1}`,
+		`not json`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestStepsOrDefault(t *testing.T) {
+	w := &Workflow{}
+	if w.StepsOrDefault() != 20 {
+		t.Error("default steps")
+	}
+	w.Steps = 7
+	if w.StepsOrDefault() != 7 {
+		t.Error("explicit steps")
+	}
+}

@@ -1,0 +1,97 @@
+package staging
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// Wire format for one block (all integers little-endian):
+//
+//	magic   uint32  'XLBD'
+//	lo      3×int32
+//	hi      3×int32
+//	ncomp   uint32
+//	payload ncomp×cells×float64
+//
+// The format is self-describing enough for the staging protocol and the
+// plotfile writer, and deliberately simple: a block is always rectangular
+// and dense.
+
+const blockMagic uint32 = 0x584c4244 // "XLBD"
+
+// ErrBadBlock reports a malformed serialized block.
+var ErrBadBlock = errors.New("staging: malformed serialized block")
+
+// maxWireCells bounds decoded allocations (defense against corrupt or
+// hostile streams): 64M cells ≈ 512 MB for one component.
+const maxWireCells = int64(64) << 20
+
+// EncodedSize returns the wire size of a block in bytes.
+func EncodedSize(d *field.BoxData) int64 {
+	return 4 + 24 + 4 + d.NumCells()*int64(d.NComp)*8
+}
+
+// EncodeBlock writes d to w in wire format.
+func EncodeBlock(w io.Writer, d *field.BoxData) error {
+	if d == nil || d.Box.IsEmpty() {
+		return fmt.Errorf("%w: empty block", ErrBadBlock)
+	}
+	hdr := make([]byte, 4+24+4)
+	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
+	for i, v := range []int{d.Box.Lo.X, d.Box.Lo.Y, d.Box.Lo.Z, d.Box.Hi.X, d.Box.Hi.Y, d.Box.Hi.Z} {
+		binary.LittleEndian.PutUint32(hdr[4+4*i:], uint32(int32(v)))
+	}
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(d.NComp))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(d.Comp(0)))
+	for c := 0; c < d.NComp; c++ {
+		comp := d.Comp(c)
+		for i, v := range comp {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBlock reads one wire-format block from r.
+func DecodeBlock(r io.Reader) (*field.BoxData, error) {
+	hdr := make([]byte, 4+24+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBlock)
+	}
+	geti := func(i int) int { return int(int32(binary.LittleEndian.Uint32(hdr[4+4*i:]))) }
+	box := grid.NewBox(
+		grid.IV(geti(0), geti(1), geti(2)),
+		grid.IV(geti(3), geti(4), geti(5)),
+	)
+	ncomp := int(binary.LittleEndian.Uint32(hdr[28:]))
+	if box.IsEmpty() || ncomp < 1 || ncomp > 64 || box.NumCells() > maxWireCells {
+		return nil, fmt.Errorf("%w: box %v ncomp %d", ErrBadBlock, box, ncomp)
+	}
+	d := field.New(box, ncomp)
+	buf := make([]byte, 8*int(box.NumCells()))
+	for c := 0; c < ncomp; c++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		comp := d.Comp(c)
+		for i := range comp {
+			comp[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return d, nil
+}

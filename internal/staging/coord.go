@@ -1,0 +1,174 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+
+	"crosslayer/internal/field"
+)
+
+// Coordination primitives in the DataSpaces tradition: named read/write
+// locks over (variable, version) — DataSpaces' dspaces_lock_on_read/write —
+// and a publish/subscribe notification channel over variables, in the
+// spirit of the messaging layer the authors built on the staging area
+// (paper ref [9]). Coupled codes use these to hand versions off safely:
+// the writer locks-for-write, puts, unlocks; readers lock-for-read and are
+// woken by notifications instead of polling.
+
+// LockManager provides named reader/writer locks. The zero value is not
+// usable; create with NewLockManager.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*rwState
+}
+
+type rwState struct {
+	cond    *sync.Cond
+	readers int
+	writer  bool
+}
+
+// NewLockManager creates an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[string]*rwState)}
+}
+
+func (lm *LockManager) state(name string) *rwState {
+	st, ok := lm.locks[name]
+	if !ok {
+		st = &rwState{}
+		st.cond = sync.NewCond(&lm.mu)
+		lm.locks[name] = st
+	}
+	return st
+}
+
+// lockKey names the lock protecting one variable version.
+func lockKey(varName string, version int) string {
+	return fmt.Sprintf("%s@%d", varName, version)
+}
+
+// LockRead blocks until no writer holds the named lock, then registers a
+// reader.
+func (lm *LockManager) LockRead(varName string, version int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(lockKey(varName, version))
+	for st.writer {
+		st.cond.Wait()
+	}
+	st.readers++
+}
+
+// UnlockRead releases a reader hold.
+func (lm *LockManager) UnlockRead(varName string, version int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(lockKey(varName, version))
+	if st.readers <= 0 {
+		panic("staging: UnlockRead without LockRead")
+	}
+	st.readers--
+	if st.readers == 0 {
+		st.cond.Broadcast()
+	}
+}
+
+// LockWrite blocks until the named lock has no readers and no writer, then
+// takes exclusive ownership.
+func (lm *LockManager) LockWrite(varName string, version int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(lockKey(varName, version))
+	for st.writer || st.readers > 0 {
+		st.cond.Wait()
+	}
+	st.writer = true
+}
+
+// UnlockWrite releases exclusive ownership.
+func (lm *LockManager) UnlockWrite(varName string, version int) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(lockKey(varName, version))
+	if !st.writer {
+		panic("staging: UnlockWrite without LockWrite")
+	}
+	st.writer = false
+	st.cond.Broadcast()
+}
+
+// Event announces that a version of a variable became available.
+type Event struct {
+	Var     string
+	Version int
+	Bytes   int64
+}
+
+// Notifier is a publish/subscribe hub over staging variables.
+type Notifier struct {
+	mu   sync.Mutex
+	subs map[string][]chan Event
+}
+
+// NewNotifier creates an empty hub.
+func NewNotifier() *Notifier {
+	return &Notifier{subs: make(map[string][]chan Event)}
+}
+
+// Subscribe registers interest in a variable; events arrive on the
+// returned channel (buffered by `depth`; an event is dropped for a
+// subscriber whose buffer is full, so a slow consumer cannot stall
+// publishers — the same decoupling the staging messaging layer provides).
+func (n *Notifier) Subscribe(varName string, depth int) <-chan Event {
+	if depth < 1 {
+		depth = 16
+	}
+	ch := make(chan Event, depth)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subs[varName] = append(n.subs[varName], ch)
+	return ch
+}
+
+// Publish delivers an event to every subscriber of the variable.
+func (n *Notifier) Publish(ev Event) {
+	n.mu.Lock()
+	subs := append([]chan Event(nil), n.subs[ev.Var]...)
+	n.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // drop for saturated subscribers
+		}
+	}
+}
+
+// CoordinatedSpace bundles a Space with locks and notifications, giving
+// writers and readers the handoff protocol coupled workflows need.
+type CoordinatedSpace struct {
+	*Space
+	Locks    *LockManager
+	Notifier *Notifier
+}
+
+// NewCoordinatedSpace wraps a space with fresh coordination state.
+func NewCoordinatedSpace(sp *Space) *CoordinatedSpace {
+	return &CoordinatedSpace{Space: sp, Locks: NewLockManager(), Notifier: NewNotifier()}
+}
+
+// PutLocked writes a set of blocks of one version under the write lock and
+// publishes a single notification when the version is complete.
+func (cs *CoordinatedSpace) PutLocked(varName string, version int, blocks ...*field.BoxData) error {
+	cs.Locks.LockWrite(varName, version)
+	defer cs.Locks.UnlockWrite(varName, version)
+	var bytes int64
+	for _, b := range blocks {
+		if err := cs.Space.Put(varName, version, b); err != nil {
+			return err
+		}
+		bytes += b.Bytes()
+	}
+	cs.Notifier.Publish(Event{Var: varName, Version: version, Bytes: bytes})
+	return nil
+}

@@ -1,0 +1,160 @@
+package staging
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crosslayer/internal/grid"
+)
+
+func TestLockManagerReadersShareWritersExclude(t *testing.T) {
+	lm := NewLockManager()
+	lm.LockRead("v", 0)
+	lm.LockRead("v", 0) // concurrent readers allowed
+	writerIn := make(chan struct{})
+	go func() {
+		lm.LockWrite("v", 0)
+		close(writerIn)
+		lm.UnlockWrite("v", 0)
+	}()
+	select {
+	case <-writerIn:
+		t.Fatal("writer acquired while readers held the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.UnlockRead("v", 0)
+	lm.UnlockRead("v", 0)
+	select {
+	case <-writerIn:
+	case <-time.After(time.Second):
+		t.Fatal("writer never acquired after readers released")
+	}
+}
+
+func TestLockManagerWriterBlocksReaders(t *testing.T) {
+	lm := NewLockManager()
+	lm.LockWrite("v", 1)
+	readerIn := make(chan struct{})
+	go func() {
+		lm.LockRead("v", 1)
+		close(readerIn)
+		lm.UnlockRead("v", 1)
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("reader acquired while writer held the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.UnlockWrite("v", 1)
+	select {
+	case <-readerIn:
+	case <-time.After(time.Second):
+		t.Fatal("reader never acquired after writer released")
+	}
+}
+
+func TestLockManagerVersionsIndependent(t *testing.T) {
+	lm := NewLockManager()
+	lm.LockWrite("v", 0)
+	done := make(chan struct{})
+	go func() {
+		lm.LockWrite("v", 1) // different version: no contention
+		lm.UnlockWrite("v", 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("independent version lock blocked")
+	}
+	lm.UnlockWrite("v", 0)
+}
+
+func TestLockManagerMisuse(t *testing.T) {
+	lm := NewLockManager()
+	for _, fn := range []func(){
+		func() { lm.UnlockRead("x", 0) },
+		func() { lm.UnlockWrite("x", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("misuse should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNotifierDelivers(t *testing.T) {
+	n := NewNotifier()
+	ch := n.Subscribe("rho", 4)
+	other := n.Subscribe("u", 4)
+	n.Publish(Event{Var: "rho", Version: 3, Bytes: 100})
+	select {
+	case ev := <-ch:
+		if ev.Version != 3 || ev.Bytes != 100 {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+	select {
+	case ev := <-other:
+		t.Fatalf("wrong-variable subscriber got %+v", ev)
+	default:
+	}
+}
+
+func TestNotifierDropsWhenSaturated(t *testing.T) {
+	n := NewNotifier()
+	ch := n.Subscribe("rho", 1)
+	n.Publish(Event{Var: "rho", Version: 0})
+	n.Publish(Event{Var: "rho", Version: 1}) // buffer full: dropped
+	if got := len(ch); got != 1 {
+		t.Errorf("buffered events = %d, want 1", got)
+	}
+	if ev := <-ch; ev.Version != 0 {
+		t.Errorf("kept event = %+v, want the first", ev)
+	}
+}
+
+func TestCoordinatedHandoff(t *testing.T) {
+	cs := NewCoordinatedSpace(NewSpace(2, 0, dom()))
+	events := cs.Notifier.Subscribe("rho", 8)
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reader: wait for notifications, then read under lock
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			ev := <-events
+			cs.Locks.LockRead(ev.Var, ev.Version)
+			blocks, err := cs.GetBlocks(ev.Var, ev.Version, dom())
+			cs.Locks.UnlockRead(ev.Var, ev.Version)
+			if err != nil {
+				t.Errorf("read after notify: %v", err)
+				return
+			}
+			for _, b := range blocks {
+				consumed.Add(b.NumCells())
+			}
+		}
+	}()
+
+	for v := 0; v < 3; v++ {
+		if err := cs.PutLocked("rho", v,
+			block(grid.IV(0, 0, 0), 4, float64(v)),
+			block(grid.IV(8, 0, 0), 4, float64(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := consumed.Load(); got != 3*2*64 {
+		t.Errorf("consumed %d cells, want %d", got, 3*2*64)
+	}
+}

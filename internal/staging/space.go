@@ -1,0 +1,253 @@
+// Package staging implements the DataSpaces-like data staging substrate the
+// workflow runs on: a sharded, versioned, in-memory object space addressed
+// by (variable, version, bounding box). Writers put rectangular blocks;
+// readers get arbitrary rectangular regions which the space assembles from
+// every intersecting stored block. Blocks are routed to server shards by
+// the Morton code of their center, the same space-filling-curve bucketing
+// DataSpaces uses for its distributed hash table.
+//
+// The space enforces per-server memory capacities — exhaustion surfaces as
+// ErrNoMemory, the condition that drives the paper's resource-layer
+// adaptation (Eq. 10) — and supports asynchronous put/get, mirroring the
+// asynchronous transport the middleware-layer policy relies on ("the data
+// will be asynchronously transferred to staging nodes immediately").
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// ErrNoMemory reports that the target server shard cannot hold the object.
+var ErrNoMemory = errors.New("staging: server memory exhausted")
+
+// ErrNotFound reports that no stored block intersects the requested region.
+var ErrNotFound = errors.New("staging: no data for requested region")
+
+// Object is one stored block.
+type Object struct {
+	Var     string
+	Version int
+	Data    *field.BoxData
+}
+
+// server is one shard of the space.
+type server struct {
+	mu       sync.Mutex
+	objects  map[string][]*Object // keyed by var@version
+	memUsed  int64
+	capacity int64
+}
+
+func key(varName string, version int) string {
+	return fmt.Sprintf("%s@%d", varName, version)
+}
+
+func (s *server) put(o *Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sz := o.Data.Bytes()
+	if s.capacity > 0 && s.memUsed+sz > s.capacity {
+		return ErrNoMemory
+	}
+	k := key(o.Var, o.Version)
+	s.objects[k] = append(s.objects[k], o)
+	s.memUsed += sz
+	return nil
+}
+
+func (s *server) query(varName string, version int, region grid.Box) []*Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Object
+	for _, o := range s.objects[key(varName, version)] {
+		if o.Data.Box.Intersects(region) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (s *server) dropBefore(varName string, version int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var freed int64
+	for k, objs := range s.objects {
+		if len(objs) == 0 || objs[0].Var != varName || objs[0].Version >= version {
+			continue
+		}
+		for _, o := range objs {
+			freed += o.Data.Bytes()
+		}
+		delete(s.objects, k)
+	}
+	s.memUsed -= freed
+	return freed
+}
+
+// Space is the staging service: a set of server shards over a global
+// domain.
+type Space struct {
+	domain  grid.Box
+	servers []*server
+}
+
+// NewSpace creates a staging space with nservers shards, each with the
+// given memory capacity in bytes (0 = unlimited), indexing blocks within
+// domain.
+func NewSpace(nservers int, capacityPerServer int64, domain grid.Box) *Space {
+	if nservers < 1 {
+		panic(fmt.Sprintf("staging: need >= 1 server, got %d", nservers))
+	}
+	sp := &Space{domain: domain}
+	for i := 0; i < nservers; i++ {
+		sp.servers = append(sp.servers, &server{
+			objects:  make(map[string][]*Object),
+			capacity: capacityPerServer,
+		})
+	}
+	return sp
+}
+
+// NumServers returns the shard count.
+func (sp *Space) NumServers() int { return len(sp.servers) }
+
+// route picks the shard for a block: Morton code of the box center scaled
+// into the shard range, preserving spatial locality across shards.
+func (sp *Space) route(b grid.Box) *server {
+	c := b.Center().Sub(sp.domain.Lo).Max(grid.Zero)
+	code := grid.MortonCode(c)
+	// Codes of in-domain points span [0, MortonCode(maxCorner)]; scale that
+	// range over the shards.
+	maxCode := grid.MortonCode(sp.domain.Size().Sub(grid.Unit).Max(grid.Zero)) + 1
+	idx := int(code % uint64(len(sp.servers)))
+	if maxCode > 0 {
+		idx = int(code * uint64(len(sp.servers)) / maxCode)
+		if idx >= len(sp.servers) {
+			idx = len(sp.servers) - 1
+		}
+	}
+	return sp.servers[idx]
+}
+
+// Put stores a block of varName at version. The block is routed to one
+// shard; ErrNoMemory is returned if that shard is full.
+func (sp *Space) Put(varName string, version int, d *field.BoxData) error {
+	if d == nil || d.Box.IsEmpty() {
+		return errors.New("staging: empty block")
+	}
+	return sp.route(d.Box).put(&Object{Var: varName, Version: version, Data: d})
+}
+
+// PutAsync stores a block in the background, delivering the result on the
+// returned channel (buffered: the sender never blocks).
+func (sp *Space) PutAsync(varName string, version int, d *field.BoxData) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- sp.Put(varName, version, d) }()
+	return done
+}
+
+// Get assembles the stored data of varName at version over region into a
+// fresh BoxData. Cells of region not covered by any stored block are zero;
+// ErrNotFound is returned when nothing intersects at all. Shards are
+// queried concurrently.
+func (sp *Space) Get(varName string, version int, region grid.Box) (*field.BoxData, error) {
+	objs := sp.collect(varName, version, region)
+	if len(objs) == 0 {
+		return nil, ErrNotFound
+	}
+	out := field.New(region, objs[0].Data.NComp)
+	for _, o := range objs {
+		out.CopyFrom(o.Data)
+	}
+	return out, nil
+}
+
+// GetBlocks returns the stored blocks of varName at version intersecting
+// region, without assembling them (what an in-transit analysis kernel that
+// works block-locally wants).
+func (sp *Space) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	objs := sp.collect(varName, version, region)
+	if len(objs) == 0 {
+		return nil, ErrNotFound
+	}
+	out := make([]*field.BoxData, len(objs))
+	for i, o := range objs {
+		out[i] = o.Data
+	}
+	return out, nil
+}
+
+func (sp *Space) collect(varName string, version int, region grid.Box) []*Object {
+	results := make([][]*Object, len(sp.servers))
+	var wg sync.WaitGroup
+	for i, s := range sp.servers {
+		wg.Add(1)
+		go func(i int, s *server) {
+			defer wg.Done()
+			results[i] = s.query(varName, version, region)
+		}(i, s)
+	}
+	wg.Wait()
+	var out []*Object
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	// Deterministic assembly order regardless of shard scheduling.
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Data.Box, out[j].Data.Box
+		return grid.MortonCode(bi.Lo.Sub(sp.domain.Lo).Max(grid.Zero)) <
+			grid.MortonCode(bj.Lo.Sub(sp.domain.Lo).Max(grid.Zero))
+	})
+	return out
+}
+
+// DropBefore evicts every block of varName with version < version,
+// returning the bytes freed. The workflow calls this once a version has
+// been fully analyzed.
+func (sp *Space) DropBefore(varName string, version int) int64 {
+	var freed int64
+	for _, s := range sp.servers {
+		freed += s.dropBefore(varName, version)
+	}
+	return freed
+}
+
+// MemUsed returns total bytes held across shards.
+func (sp *Space) MemUsed() int64 {
+	var used int64
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		used += s.memUsed
+		s.mu.Unlock()
+	}
+	return used
+}
+
+// MemCapacity returns the total capacity across shards (0 = unlimited).
+func (sp *Space) MemCapacity() int64 {
+	var c int64
+	for _, s := range sp.servers {
+		if s.capacity == 0 {
+			return 0
+		}
+		c += s.capacity
+	}
+	return c
+}
+
+// MemPerServer reports each shard's usage, exposing imbalance.
+func (sp *Space) MemPerServer() []int64 {
+	out := make([]int64, len(sp.servers))
+	for i, s := range sp.servers {
+		s.mu.Lock()
+		out[i] = s.memUsed
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,369 @@
+package staging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// TCP transport for the staging space: a Server exposes a Space over a
+// stream socket with a small binary protocol, and a Client gives remote
+// processes the same Put/GetBlocks/DropBefore operations the in-process
+// API offers. This is the deployment shape of a real staging service —
+// dedicated staging nodes running servers, simulation ranks connecting as
+// clients — realized with the stdlib net package.
+//
+// Protocol (little-endian), one request per round trip:
+//
+//	request:  op uint8 | varLen uint16 | var bytes | version int32 | body
+//	  opPut   body = one wire-format block
+//	  opGet   body = region box (6×int32)
+//	  opDrop  body = empty (drops versions < version)
+//	  opStat  body = empty
+//	response: status uint8 | body
+//	  opPut   -
+//	  opGet   count uint32 | count wire-format blocks
+//	  opDrop  freed int64
+//	  opStat  used int64
+const (
+	opPut  = 1
+	opGet  = 2
+	opDrop = 3
+	opStat = 4
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusNoMemory = 2
+	statusBad      = 3
+)
+
+// ErrProtocol reports a malformed or unexpected protocol exchange.
+var ErrProtocol = errors.New("staging: protocol error")
+
+// Server serves a Space over TCP.
+type Server struct {
+	space *Space
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by space.
+func Serve(addr string, space *Space) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{space: space, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue // transient accept error
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle serves one connection until EOF or error.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if err := s.handleOne(r, w); err != nil {
+			return // connection-level error or clean EOF
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	op := hdr[0]
+	varLen := binary.LittleEndian.Uint16(hdr[1:])
+	if varLen > 256 {
+		return fmt.Errorf("%w: variable name too long", ErrProtocol)
+	}
+	nameBuf := make([]byte, varLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return err
+	}
+	var verBuf [4]byte
+	if _, err := io.ReadFull(r, verBuf[:]); err != nil {
+		return err
+	}
+	varName := string(nameBuf)
+	version := int(int32(binary.LittleEndian.Uint32(verBuf[:])))
+
+	switch op {
+	case opPut:
+		d, err := DecodeBlock(r)
+		if err != nil {
+			if errors.Is(err, ErrBadBlock) {
+				w.WriteByte(statusBad)
+				return nil
+			}
+			return err
+		}
+		switch err := s.space.Put(varName, version, d); {
+		case errors.Is(err, ErrNoMemory):
+			return w.WriteByte(statusNoMemory)
+		case err != nil:
+			return w.WriteByte(statusBad)
+		default:
+			return w.WriteByte(statusOK)
+		}
+
+	case opGet:
+		var boxBuf [24]byte
+		if _, err := io.ReadFull(r, boxBuf[:]); err != nil {
+			return err
+		}
+		geti := func(i int) int { return int(int32(binary.LittleEndian.Uint32(boxBuf[4*i:]))) }
+		region := grid.NewBox(grid.IV(geti(0), geti(1), geti(2)), grid.IV(geti(3), geti(4), geti(5)))
+		blocks, err := s.space.GetBlocks(varName, version, region)
+		if errors.Is(err, ErrNotFound) {
+			return w.WriteByte(statusNotFound)
+		}
+		if err != nil {
+			return w.WriteByte(statusBad)
+		}
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(blocks)))
+		if _, err := w.Write(cnt[:]); err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if err := EncodeBlock(w, b); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case opDrop:
+		freed := s.space.DropBefore(varName, version)
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(freed))
+		_, err := w.Write(out[:])
+		return err
+
+	case opStat:
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(s.space.MemUsed()))
+		_, err := w.Write(out[:])
+		return err
+	}
+	return fmt.Errorf("%w: unknown op %d", ErrProtocol, op)
+}
+
+// Client talks to a staging Server. It is safe for concurrent use; requests
+// on one client serialize over its single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a staging server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) writeHeader(op byte, varName string, version int) error {
+	if len(varName) > 256 {
+		return fmt.Errorf("%w: variable name too long", ErrProtocol)
+	}
+	var hdr [3]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint16(hdr[1:], uint16(len(varName)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString(varName); err != nil {
+		return err
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], uint32(int32(version)))
+	_, err := c.w.Write(ver[:])
+	return err
+}
+
+func (c *Client) readStatus() (byte, error) {
+	if err := c.w.Flush(); err != nil {
+		return statusBad, err
+	}
+	return c.r.ReadByte()
+}
+
+// Put stores a block of varName at version on the server.
+func (c *Client) Put(varName string, version int, d *field.BoxData) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeHeader(opPut, varName, version); err != nil {
+		return err
+	}
+	if err := EncodeBlock(c.w, d); err != nil {
+		return err
+	}
+	st, err := c.readStatus()
+	if err != nil {
+		return err
+	}
+	switch st {
+	case statusOK:
+		return nil
+	case statusNoMemory:
+		return ErrNoMemory
+	default:
+		return fmt.Errorf("%w: put status %d", ErrProtocol, st)
+	}
+}
+
+// GetBlocks fetches the stored blocks of varName at version intersecting
+// region.
+func (c *Client) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeHeader(opGet, varName, version); err != nil {
+		return nil, err
+	}
+	var boxBuf [24]byte
+	for i, v := range []int{region.Lo.X, region.Lo.Y, region.Lo.Z, region.Hi.X, region.Hi.Y, region.Hi.Z} {
+		binary.LittleEndian.PutUint32(boxBuf[4*i:], uint32(int32(v)))
+	}
+	if _, err := c.w.Write(boxBuf[:]); err != nil {
+		return nil, err
+	}
+	st, err := c.readStatus()
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case statusNotFound:
+		return nil, ErrNotFound
+	case statusOK:
+	default:
+		return nil, fmt.Errorf("%w: get status %d", ErrProtocol, st)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(c.r, cnt[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd block count %d", ErrProtocol, n)
+	}
+	out := make([]*field.BoxData, 0, n)
+	for i := uint32(0); i < n; i++ {
+		b, err := DecodeBlock(c.r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// DropBefore evicts versions of varName below version, returning bytes
+// freed on the server.
+func (c *Client) DropBefore(varName string, version int) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeHeader(opDrop, varName, version); err != nil {
+		return 0, err
+	}
+	st, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	if st != statusOK {
+		return 0, fmt.Errorf("%w: drop status %d", ErrProtocol, st)
+	}
+	var out [8]byte
+	if _, err := io.ReadFull(c.r, out[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out[:])), nil
+}
+
+// MemUsed reports the server's total stored bytes.
+func (c *Client) MemUsed() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeHeader(opStat, "", 0); err != nil {
+		return 0, err
+	}
+	st, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	if st != statusOK {
+		return 0, fmt.Errorf("%w: stat status %d", ErrProtocol, st)
+	}
+	var out [8]byte
+	if _, err := io.ReadFull(c.r, out[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out[:])), nil
+}

@@ -1,0 +1,126 @@
+// Package trace serializes workflow run records for offline analysis —
+// CSV for spreadsheets/plotting and JSON Lines for scripting. The CLI's
+// run mode and the experiment harnesses use it to persist per-step
+// adaptation decisions.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"crosslayer/internal/core"
+	"crosslayer/internal/policy"
+)
+
+// csvHeader lists the exported columns, in order.
+var csvHeader = []string{
+	"step", "factor", "placement", "placement_reason",
+	"sim_seconds", "reduce_seconds", "analysis_seconds", "transfer_seconds",
+	"bytes_produced", "bytes_analyzed", "bytes_moved",
+	"staging_cores", "peak_mem_bytes", "min_mem_avail",
+	"triangles", "sim_clock", "staging_clock", "finest_level",
+}
+
+// WriteCSV emits one row per step record.
+func WriteCSV(w io.Writer, steps []core.StepRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, s := range steps {
+		row := []string{
+			strconv.Itoa(s.Step), strconv.Itoa(s.Factor),
+			s.Placement.String(), s.PlacementReason,
+			f(s.SimSeconds), f(s.ReduceSeconds), f(s.AnalysisSeconds), f(s.TransferSeconds),
+			i(s.BytesProduced), i(s.BytesAnalyzed), i(s.BytesMoved),
+			strconv.Itoa(s.StagingCores), i(s.PeakMemBytes), i(s.MinMemAvail),
+			strconv.Itoa(s.Triangles), f(s.SimClock), f(s.StagingClock),
+			strconv.Itoa(s.FinestLevel),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonStep is the JSONL projection of a step record.
+type jsonStep struct {
+	Step            int     `json:"step"`
+	Factor          int     `json:"factor"`
+	Placement       string  `json:"placement"`
+	PlacementReason string  `json:"placement_reason,omitempty"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	ReduceSeconds   float64 `json:"reduce_seconds,omitempty"`
+	AnalysisSeconds float64 `json:"analysis_seconds"`
+	TransferSeconds float64 `json:"transfer_seconds,omitempty"`
+	BytesProduced   int64   `json:"bytes_produced"`
+	BytesAnalyzed   int64   `json:"bytes_analyzed"`
+	BytesMoved      int64   `json:"bytes_moved"`
+	StagingCores    int     `json:"staging_cores"`
+	PeakMemBytes    int64   `json:"peak_mem_bytes"`
+	MinMemAvail     int64   `json:"min_mem_avail"`
+	Triangles       int     `json:"triangles,omitempty"`
+	SimClock        float64 `json:"sim_clock"`
+	StagingClock    float64 `json:"staging_clock"`
+	FinestLevel     int     `json:"finest_level"`
+}
+
+// WriteJSONL emits one JSON object per line per step record.
+func WriteJSONL(w io.Writer, steps []core.StepRecord) error {
+	enc := json.NewEncoder(w)
+	for _, s := range steps {
+		js := jsonStep{
+			Step: s.Step, Factor: s.Factor,
+			Placement: s.Placement.String(), PlacementReason: s.PlacementReason,
+			SimSeconds: s.SimSeconds, ReduceSeconds: s.ReduceSeconds,
+			AnalysisSeconds: s.AnalysisSeconds, TransferSeconds: s.TransferSeconds,
+			BytesProduced: s.BytesProduced, BytesAnalyzed: s.BytesAnalyzed,
+			BytesMoved:   s.BytesMoved,
+			StagingCores: s.StagingCores, PeakMemBytes: s.PeakMemBytes,
+			MinMemAvail: s.MinMemAvail, Triangles: s.Triangles,
+			SimClock: s.SimClock, StagingClock: s.StagingClock,
+			FinestLevel: s.FinestLevel,
+		}
+		if err := enc.Encode(&js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records written by WriteJSONL (used by tests and
+// downstream tools).
+func ReadJSONL(r io.Reader) ([]core.StepRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []core.StepRecord
+	for dec.More() {
+		var js jsonStep
+		if err := dec.Decode(&js); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		rec := core.StepRecord{
+			Step: js.Step, Factor: js.Factor,
+			PlacementReason: js.PlacementReason,
+			SimSeconds:      js.SimSeconds, ReduceSeconds: js.ReduceSeconds,
+			AnalysisSeconds: js.AnalysisSeconds, TransferSeconds: js.TransferSeconds,
+			BytesProduced: js.BytesProduced, BytesAnalyzed: js.BytesAnalyzed,
+			BytesMoved:   js.BytesMoved,
+			StagingCores: js.StagingCores, PeakMemBytes: js.PeakMemBytes,
+			MinMemAvail: js.MinMemAvail, Triangles: js.Triangles,
+			SimClock: js.SimClock, StagingClock: js.StagingClock,
+			FinestLevel: js.FinestLevel,
+		}
+		if js.Placement == policy.PlaceInTransit.String() {
+			rec.Placement = policy.PlaceInTransit
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/core"
+	"crosslayer/internal/policy"
+)
+
+func sampleSteps() []core.StepRecord {
+	return []core.StepRecord{
+		{
+			Step: 0, Factor: 2, Placement: policy.PlaceInTransit,
+			PlacementReason: "staging idle", SimSeconds: 1.5,
+			ReduceSeconds: 0.01, AnalysisSeconds: 0.8, TransferSeconds: 0.02,
+			BytesProduced: 1000, BytesAnalyzed: 125, BytesMoved: 125,
+			StagingCores: 32, PeakMemBytes: 77, MinMemAvail: 23,
+			Triangles: 42, SimClock: 1.51, StagingClock: 2.3, FinestLevel: 1,
+		},
+		{
+			Step: 1, Factor: 1, Placement: policy.PlaceInSitu,
+			SimSeconds: 1.6, AnalysisSeconds: 0.2,
+			BytesProduced: 1100, BytesAnalyzed: 1100,
+			StagingCores: 32, SimClock: 3.3, StagingClock: 2.3,
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleSteps()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "step" || len(rows[0]) != len(rows[1]) {
+		t.Error("header shape wrong")
+	}
+	if rows[1][2] != "in-transit" || rows[2][2] != "in-situ" {
+		t.Errorf("placement columns: %q %q", rows[1][2], rows[2][2])
+	}
+	if rows[1][1] != "2" {
+		t.Errorf("factor column: %q", rows[1][1])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	steps := sampleSteps()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("lines = %d", got)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range steps {
+		if back[i].Step != steps[i].Step || back[i].Factor != steps[i].Factor ||
+			back[i].Placement != steps[i].Placement ||
+			back[i].BytesMoved != steps[i].BytesMoved ||
+			back[i].SimSeconds != steps[i].SimSeconds ||
+			back[i].StagingCores != steps[i].StagingCores {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, back[i], steps[i])
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,") {
+		t.Error("empty CSV missing header")
+	}
+	buf.Reset()
+	if err := WriteJSONL(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Error("empty JSONL should write nothing")
+	}
+	recs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Error("empty JSONL read failed")
+	}
+}

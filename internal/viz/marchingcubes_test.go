@@ -1,0 +1,186 @@
+package viz
+
+import (
+	"math"
+	"testing"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// sphereField fills an n³ block with f(p) = |p - c| (distance field), whose
+// isosurface at r is a sphere of radius r.
+func sphereField(n int) *field.BoxData {
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(n, n, n)), 1)
+	c := float64(n-1) / 2
+	d.Box.ForEach(func(q grid.IntVect) {
+		dx, dy, dz := float64(q.X)-c, float64(q.Y)-c, float64(q.Z)-c
+		d.Set(q, 0, math.Sqrt(dx*dx+dy*dy+dz*dz))
+	})
+	return d
+}
+
+func TestTriangleArea(t *testing.T) {
+	tri := Triangle{Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}}
+	if got := tri.Area(); math.Abs(got-0.5) > 1e-14 {
+		t.Errorf("Area = %v", got)
+	}
+	degenerate := Triangle{Vec3{0, 0, 0}, Vec3{1, 1, 1}, Vec3{2, 2, 2}}
+	if got := degenerate.Area(); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestExtractEmptyWhenNoCrossing(t *testing.T) {
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(8, 8, 8)), 1)
+	d.FillAll(1)
+	m := ExtractBlock(d, 0, 5, Vec3{}, 1)
+	if m.Count() != 0 {
+		t.Errorf("flat field produced %d triangles", m.Count())
+	}
+	m = ExtractBlock(d, 0, 0.5, Vec3{}, 1)
+	if m.Count() != 0 {
+		t.Errorf("all-inside field produced %d triangles", m.Count())
+	}
+}
+
+func TestExtractTinyBlock(t *testing.T) {
+	d := field.New(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(1, 1, 1)), 1)
+	if m := ExtractBlock(d, 0, 0.5, Vec3{}, 1); m.Count() != 0 {
+		t.Errorf("single-cell block produced %d triangles", m.Count())
+	}
+}
+
+func TestExtractSphereAreaConverges(t *testing.T) {
+	// The extracted area of a radius-r sphere must approach 4πr².
+	d := sphereField(32)
+	r := 10.0
+	m := ExtractBlock(d, 0, r, Vec3{}, 1)
+	if m.Count() == 0 {
+		t.Fatal("no surface extracted")
+	}
+	want := 4 * math.Pi * r * r
+	if rel := math.Abs(m.Area()-want) / want; rel > 0.05 {
+		t.Errorf("sphere area %.1f, want %.1f (rel err %.3f)", m.Area(), want, rel)
+	}
+}
+
+func TestExtractAreaScalesWithDx(t *testing.T) {
+	d := sphereField(16)
+	m1 := ExtractBlock(d, 0, 5, Vec3{}, 1)
+	m2 := ExtractBlock(d, 0, 5, Vec3{}, 2)
+	if m1.Count() != m2.Count() {
+		t.Fatalf("dx changed topology: %d vs %d triangles", m1.Count(), m2.Count())
+	}
+	if rel := math.Abs(m2.Area()-4*m1.Area()) / (4 * m1.Area()); rel > 1e-9 {
+		t.Errorf("area did not scale by dx²: %v vs %v", m2.Area(), m1.Area())
+	}
+}
+
+func TestExtractVerticesOnIsosurface(t *testing.T) {
+	// For the distance field, every emitted vertex must lie (nearly) on the
+	// r-sphere: linear interpolation error only.
+	d := sphereField(24)
+	r := 8.0
+	c := float64(23) / 2
+	m := ExtractBlock(d, 0, r, Vec3{}, 1)
+	for _, tri := range m.Triangles {
+		for _, v := range []Vec3{tri.A, tri.B, tri.C} {
+			// cell-center convention adds 0.5 to each coordinate
+			dx, dy, dz := v.X-0.5-c, v.Y-0.5-c, v.Z-0.5-c
+			dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if math.Abs(dist-r) > 0.1 {
+				t.Fatalf("vertex %v at distance %.3f, want %.1f", v, dist, r)
+			}
+		}
+	}
+}
+
+func TestMeshBytesAndAppend(t *testing.T) {
+	m := &Mesh{Triangles: make([]Triangle, 10)}
+	if m.Bytes() != 720 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+	other := &Mesh{Triangles: make([]Triangle, 5)}
+	m.Append(other)
+	if m.Count() != 15 {
+		t.Errorf("Append count = %d", m.Count())
+	}
+}
+
+func TestWatertightSphere(t *testing.T) {
+	// Tetrahedral marching produces a closed surface for a sphere strictly
+	// inside the block: every edge must be shared by exactly two triangles.
+	d := sphereField(20)
+	m := ExtractBlock(d, 0, 6, Vec3{}, 1)
+	if m.Count() == 0 {
+		t.Fatal("no surface")
+	}
+	type edge [2]Vec3
+	canon := func(a, b Vec3) edge {
+		if a.X < b.X || (a.X == b.X && (a.Y < b.Y || (a.Y == b.Y && a.Z <= b.Z))) {
+			return edge{a, b}
+		}
+		return edge{b, a}
+	}
+	counts := map[edge]int{}
+	for _, tri := range m.Triangles {
+		if tri.Area() == 0 {
+			continue // degenerate slivers from vertices exactly on the iso
+		}
+		counts[canon(tri.A, tri.B)]++
+		counts[canon(tri.B, tri.C)]++
+		counts[canon(tri.C, tri.A)]++
+	}
+	odd := 0
+	for _, n := range counts {
+		if n%2 != 0 {
+			odd++
+		}
+	}
+	if frac := float64(odd) / float64(len(counts)); frac > 0.01 {
+		t.Errorf("%.1f%% of edges have odd incidence; surface not watertight", 100*frac)
+	}
+}
+
+func TestServiceExtractHierarchy(t *testing.T) {
+	h := amr.NewHierarchy(amr.Config{
+		Domain:     grid.NewBox(grid.IV(0, 0, 0), grid.IV(15, 15, 15)),
+		NComp:      1,
+		MaxLevel:   1,
+		MaxBoxSize: 8,
+		NRanks:     2,
+	})
+	for _, p := range h.Level(0).Patches {
+		p.Box.ForEach(func(q grid.IntVect) {
+			dx, dy, dz := float64(q.X)-7.5, float64(q.Y)-7.5, float64(q.Z)-7.5
+			p.Data.Set(q, 0, math.Sqrt(dx*dx+dy*dy+dz*dz))
+		})
+	}
+	svc := NewService(5.0)
+	mesh, st := svc.ExtractHierarchy(h, 0, 1.0/16)
+	if mesh.Count() == 0 || st.Triangles != mesh.Count() {
+		t.Fatalf("hierarchy extraction: %d triangles, stats %d", mesh.Count(), st.Triangles)
+	}
+	if st.CellsSwept != h.TotalCells() {
+		t.Errorf("CellsSwept = %d, want %d", st.CellsSwept, h.TotalCells())
+	}
+	if st.MeshBytes != mesh.Bytes() {
+		t.Errorf("MeshBytes mismatch")
+	}
+}
+
+func TestServiceTwoIsovaluesSweepTwice(t *testing.T) {
+	d := sphereField(12)
+	svc := NewService(3.0, 5.0)
+	_, st := svc.ExtractBlocks([]*field.BoxData{d}, 0, 1)
+	if st.CellsSwept != d.NumCells()*2 {
+		t.Errorf("CellsSwept = %d, want %d", st.CellsSwept, d.NumCells()*2)
+	}
+	one := NewService(3.0)
+	_, st1 := one.ExtractBlocks([]*field.BoxData{d}, 0, 1)
+	if st.Triangles <= st1.Triangles {
+		t.Error("two isovalues should produce more triangles than one")
+	}
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// IndexedMesh is a welded (shared-vertex) triangle mesh: the form viewers
+// and mesh-processing tools consume, and the form on which topological
+// checks (Euler characteristic, manifoldness) are meaningful.
+type IndexedMesh struct {
+	Vertices []Vec3
+	Faces    [][3]int
+}
+
+// Weld converts the triangle soup into an indexed mesh, merging vertices
+// that coincide within tol (snap-to-grid hashing; tol 0 selects an
+// epsilon suited to float64 isosurface output).
+func (m *Mesh) Weld(tol float64) *IndexedMesh {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	inv := 1 / tol
+	type key [3]int64
+	quant := func(v Vec3) key {
+		return key{
+			int64(math.Round(v.X * inv)),
+			int64(math.Round(v.Y * inv)),
+			int64(math.Round(v.Z * inv)),
+		}
+	}
+	idx := make(map[key]int)
+	out := &IndexedMesh{}
+	lookup := func(v Vec3) int {
+		k := quant(v)
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		i := len(out.Vertices)
+		out.Vertices = append(out.Vertices, v)
+		idx[k] = i
+		return i
+	}
+	for _, t := range m.Triangles {
+		a, b, c := lookup(t.A), lookup(t.B), lookup(t.C)
+		if a == b || b == c || a == c {
+			continue // degenerate after welding
+		}
+		out.Faces = append(out.Faces, [3]int{a, b, c})
+	}
+	return out
+}
+
+// EulerCharacteristic returns V − E + F (2 for a closed surface of genus
+// 0, e.g. one sphere; 2−2g for genus g; one less per additional connected
+// component... strictly: Σ(2−2g_i) over components).
+func (im *IndexedMesh) EulerCharacteristic() int {
+	edges := make(map[[2]int]struct{}, len(im.Faces)*3/2)
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]int{a, b}] = struct{}{}
+	}
+	for _, f := range im.Faces {
+		add(f[0], f[1])
+		add(f[1], f[2])
+		add(f[2], f[0])
+	}
+	return len(im.Vertices) - len(edges) + len(im.Faces)
+}
+
+// BoundaryEdges returns the number of edges used by exactly one face — 0
+// for a watertight (closed) surface.
+func (im *IndexedMesh) BoundaryEdges() int {
+	count := make(map[[2]int]int, len(im.Faces)*3/2)
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		count[[2]int{a, b}]++
+	}
+	for _, f := range im.Faces {
+		add(f[0], f[1])
+		add(f[1], f[2])
+		add(f[2], f[0])
+	}
+	open := 0
+	for _, n := range count {
+		if n == 1 {
+			open++
+		}
+	}
+	return open
+}
+
+// VertexNormals returns area-weighted per-vertex normals (unnormalized
+// cross-product accumulation, normalized at the end; zero-length normals
+// stay zero).
+func (im *IndexedMesh) VertexNormals() []Vec3 {
+	normals := make([]Vec3, len(im.Vertices))
+	for _, f := range im.Faces {
+		a, b, c := im.Vertices[f[0]], im.Vertices[f[1]], im.Vertices[f[2]]
+		n := b.sub(a).cross(c.sub(a)) // magnitude ∝ 2×area
+		for _, vi := range f {
+			normals[vi].X += n.X
+			normals[vi].Y += n.Y
+			normals[vi].Z += n.Z
+		}
+	}
+	for i := range normals {
+		if l := normals[i].norm(); l > 0 {
+			normals[i] = Vec3{normals[i].X / l, normals[i].Y / l, normals[i].Z / l}
+		}
+	}
+	return normals
+}
+
+// WritePLY emits the mesh (with normals) in ASCII PLY, the lingua franca
+// of mesh tools.
+func (im *IndexedMesh) WritePLY(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	normals := im.VertexNormals()
+	fmt.Fprintln(bw, "ply")
+	fmt.Fprintln(bw, "format ascii 1.0")
+	fmt.Fprintln(bw, "comment crosslayer isosurface")
+	fmt.Fprintf(bw, "element vertex %d\n", len(im.Vertices))
+	for _, p := range []string{"x", "y", "z", "nx", "ny", "nz"} {
+		fmt.Fprintf(bw, "property float %s\n", p)
+	}
+	fmt.Fprintf(bw, "element face %d\n", len(im.Faces))
+	fmt.Fprintln(bw, "property list uchar int vertex_indices")
+	fmt.Fprintln(bw, "end_header")
+	for i, v := range im.Vertices {
+		n := normals[i]
+		fmt.Fprintf(bw, "%g %g %g %g %g %g\n", v.X, v.Y, v.Z, n.X, n.Y, n.Z)
+	}
+	for _, f := range im.Faces {
+		fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2])
+	}
+	return bw.Flush()
+}

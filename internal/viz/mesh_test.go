@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sphereMesh(t *testing.T) *Mesh {
+	t.Helper()
+	d := sphereField(24)
+	m := ExtractBlock(d, 0, 8, Vec3{}, 1)
+	if m.Count() == 0 {
+		t.Fatal("no surface")
+	}
+	return m
+}
+
+func TestWeldSharesVertices(t *testing.T) {
+	m := sphereMesh(t)
+	im := m.Weld(0)
+	if len(im.Faces) == 0 {
+		t.Fatal("welding dropped all faces")
+	}
+	// A welded closed mesh has far fewer vertices than 3 per triangle
+	// (each vertex is shared by ~6 triangles).
+	if len(im.Vertices) >= 3*len(im.Faces)/2 {
+		t.Errorf("welding ineffective: %d vertices for %d faces", len(im.Vertices), len(im.Faces))
+	}
+	for _, f := range im.Faces {
+		for _, vi := range f {
+			if vi < 0 || vi >= len(im.Vertices) {
+				t.Fatal("face index out of range")
+			}
+		}
+	}
+}
+
+func TestSphereTopology(t *testing.T) {
+	// The extracted isosurface of a sphere strictly inside the block must
+	// be a closed genus-0 surface: Euler characteristic 2 and no boundary
+	// edges.
+	im := sphereMesh(t).Weld(0)
+	if open := im.BoundaryEdges(); open != 0 {
+		t.Errorf("sphere mesh has %d boundary edges; expected watertight", open)
+	}
+	if chi := im.EulerCharacteristic(); chi != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", chi)
+	}
+}
+
+func TestVertexNormalsPointOutward(t *testing.T) {
+	// For the distance-field sphere, each vertex normal must point along
+	// ± the radial direction; check |cos| is near 1 and consistent.
+	im := sphereMesh(t).Weld(0)
+	normals := im.VertexNormals()
+	c := (24.0-1)/2 + 0.5 // center in mesh coordinates (cell-center offset)
+	aligned, total := 0, 0
+	for i, v := range im.Vertices {
+		r := Vec3{v.X - c, v.Y - c, v.Z - c}
+		rl, nl := r.norm(), normals[i].norm()
+		if rl == 0 || nl == 0 {
+			continue
+		}
+		cos := (r.X*normals[i].X + r.Y*normals[i].Y + r.Z*normals[i].Z) / (rl * nl)
+		total++
+		if math.Abs(cos) > 0.8 {
+			aligned++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable normals")
+	}
+	if frac := float64(aligned) / float64(total); frac < 0.95 {
+		t.Errorf("only %.1f%% of normals radial", 100*frac)
+	}
+}
+
+func TestWeldDropsDegenerates(t *testing.T) {
+	m := &Mesh{Triangles: []Triangle{
+		{Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}},
+		{Vec3{0, 0, 0}, Vec3{1e-12, 0, 0}, Vec3{0, 1, 0}}, // collapses after welding
+	}}
+	im := m.Weld(1e-9)
+	if len(im.Faces) != 1 {
+		t.Errorf("faces = %d, want 1 (degenerate dropped)", len(im.Faces))
+	}
+}
+
+func TestWritePLY(t *testing.T) {
+	im := sphereMesh(t).Weld(0)
+	var buf bytes.Buffer
+	if err := im.WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "ply\n") {
+		t.Error("missing PLY magic")
+	}
+	if !strings.Contains(out, "end_header") {
+		t.Error("missing header terminator")
+	}
+	lines := strings.Count(out, "\n")
+	want := 10 + 2 + len(im.Vertices) + len(im.Faces) // header + data
+	if lines < want-2 || lines > want+2 {
+		t.Errorf("PLY has %d lines, expected about %d", lines, want)
+	}
+}
