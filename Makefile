@@ -1,0 +1,29 @@
+# Development entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check build test vet race fuzz clean
+
+check: vet build race fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic fuzz passes over the wire codec and the server's
+# request loop (one target per invocation, as the fuzz engine requires).
+fuzz:
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...

@@ -15,7 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"crosslayer"
 	"crosslayer/internal/spec"
@@ -37,6 +39,8 @@ func main() {
 	csvPath := fs.String("csv", "", "write per-step records as CSV to this file (run mode)")
 	jsonlPath := fs.String("jsonl", "", "write per-step records as JSON Lines to this file (run mode)")
 	plotPath := fs.String("plotfile", "", "write the final AMR hierarchy snapshot to this file (run mode)")
+	stagingTCP := fs.Bool("staging-tcp", false, "route in-transit data through a loopback TCP staging server (run mode)")
+	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -81,6 +85,7 @@ func main() {
 			app: *app, placement: *placement, objective: *objective,
 			steps: *steps, cores: *cores, staging: *staging,
 			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
+			stagingTCP: *stagingTCP, fault: *fault,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
@@ -96,6 +101,7 @@ func usage() {
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
+           -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
 runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)`)
 }
 
@@ -114,6 +120,7 @@ func runSpec(path string) error {
 	if err != nil {
 		return err
 	}
+	defer wf.Close()
 	steps := w.StepsOrDefault()
 	res := wf.Run(steps)
 	fmt.Printf("%s (%s) | %d steps\n", sim.Name(), path, steps)
@@ -129,6 +136,8 @@ type runOpts struct {
 	app, placement, objective    string
 	steps, cores, staging        int
 	csvPath, jsonlPath, plotPath string
+	stagingTCP                   bool
+	fault                        string
 }
 
 func runWorkflow(o runOpts) error {
@@ -183,6 +192,19 @@ func runWorkflow(o runOpts) error {
 		return fmt.Errorf("unknown placement %q", placement)
 	}
 
+	var client *crosslayer.StagingClient
+	if o.stagingTCP || o.fault != "" {
+		var srv *crosslayer.StagingServer
+		var err error
+		client, srv, err = dialLoopbackStaging(o.fault, dom)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		defer client.Close()
+		cfg.Staging = client
+	}
+
 	w, err := crosslayer.NewWorkflow(cfg, sim)
 	if err != nil {
 		return err
@@ -195,6 +217,17 @@ func runWorkflow(o runOpts) error {
 	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB\n",
 		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30))
 	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
+	if client != nil {
+		retries, reconnects := client.TransportStats()
+		degraded := 0
+		for _, s := range res.Steps {
+			if s.PlacementReason == crosslayer.ReasonStagingFailure {
+				degraded++
+			}
+		}
+		fmt.Printf("staging transport: %d retries, %d reconnects, %d degraded steps\n",
+			retries, reconnects, degraded)
+	}
 	for _, s := range res.Steps {
 		fmt.Printf("  step %2d: factor %2d, %-10s, M=%3d, sim %.3fs, analysis %.3fs — %s\n",
 			s.Step, s.Factor, s.Placement, s.StagingCores, s.SimSeconds, s.AnalysisSeconds, s.PlacementReason)
@@ -224,6 +257,37 @@ func runWorkflow(o runOpts) error {
 		fmt.Println("wrote", o.plotPath)
 	}
 	return nil
+}
+
+// dialLoopbackStaging stands up a loopback staging server — behind the
+// fault plan when one is given — and a lazily-connecting client with a
+// tight retry budget, so a dead server degrades steps quickly instead of
+// stalling the run.
+func dialLoopbackStaging(faultStr string, dom crosslayer.Box) (*crosslayer.StagingClient, *crosslayer.StagingServer, error) {
+	space := crosslayer.NewStagingSpace(4, 0, dom)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	wrapped := net.Listener(ln)
+	opts := crosslayer.StagingClientOptions{
+		OpTimeout:   2 * time.Second,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+	}
+	if faultStr != "" {
+		plan, err := crosslayer.ParseFaultPlan(faultStr)
+		if err != nil {
+			ln.Close()
+			return nil, nil, err
+		}
+		wrapped = crosslayer.FaultListen(ln, plan)
+		opts.DialFunc = plan.Dialer()
+	}
+	srv := crosslayer.ServeStagingOn(wrapped, space)
+	client := crosslayer.NewStagingClient(ln.Addr().String(), opts)
+	return client, srv, nil
 }
 
 // writeArtifact creates path, runs the writer, and closes the file,

@@ -40,12 +40,14 @@ package crosslayer
 
 import (
 	"io"
+	"net"
 
 	"crosslayer/internal/amr"
 	"crosslayer/internal/analysis"
 	"crosslayer/internal/core"
 	"crosslayer/internal/entropy"
 	"crosslayer/internal/experiments"
+	"crosslayer/internal/faultnet"
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/plotfile"
@@ -140,6 +142,16 @@ const (
 const (
 	PlaceInSitu    = policy.PlaceInSitu
 	PlaceInTransit = policy.PlaceInTransit
+)
+
+// Placement-reason markers for degraded steps (StepRecord.PlacementReason).
+const (
+	// ReasonStagingFailure marks a step that fell back to in-situ because
+	// the staging transport exhausted its retry budget mid-step.
+	ReasonStagingFailure = policy.ReasonStagingFailure
+	// ReasonStagingSuspect marks a step held in-situ by the failure
+	// cooldown window that follows a staging failure.
+	ReasonStagingSuspect = policy.ReasonStagingSuspect
 )
 
 // Workflow runtime.
@@ -254,6 +266,52 @@ func ServeStaging(addr string, space *StagingSpace) (*StagingServer, error) {
 // DialStaging connects to a TCP staging server.
 func DialStaging(addr string) (*StagingClient, error) { return staging.Dial(addr) }
 
+// Staging resilience and fault injection.
+type (
+	// StagingClientOptions tunes the client's deadlines, retry budget and
+	// backoff; the zero value selects the defaults.
+	StagingClientOptions = staging.ClientOptions
+	// StagingStore is the workflow's in-transit data interface — the
+	// in-process space and the TCP client both satisfy it, as can any
+	// user-provided transport (Config.Staging).
+	StagingStore = core.StagingStore
+	// FaultPlan declaratively describes deterministic transport faults for
+	// a faultnet-wrapped listener or dialer.
+	FaultPlan = faultnet.Plan
+)
+
+// ErrStagingUnavailable reports an exhausted retry budget; the workflow
+// treats it as a placement signal and degrades the step to in-situ.
+var ErrStagingUnavailable = staging.ErrStagingUnavailable
+
+// ServeStagingOn starts a staging server on an existing listener — the hook
+// for interposing a fault-injecting wrapper (see FaultListen).
+func ServeStagingOn(ln net.Listener, space *StagingSpace) *StagingServer {
+	return staging.ServeOn(ln, space)
+}
+
+// DialStagingOptions connects to a TCP staging server with explicit
+// resilience options.
+func DialStagingOptions(addr string, opts StagingClientOptions) (*StagingClient, error) {
+	return staging.DialOptions(addr, opts)
+}
+
+// NewStagingClient builds a staging client that connects lazily on first
+// use — for servers that may legitimately be down at construction time.
+func NewStagingClient(addr string, opts StagingClientOptions) *StagingClient {
+	return staging.NewClient(addr, opts)
+}
+
+// ParseFaultPlan parses the comma-separated key=value fault-plan syntax
+// (e.g. "seed=42,refuse=2,drop-after=4096,latency=2ms,corrupt=0.01").
+func ParseFaultPlan(s string) (FaultPlan, error) { return faultnet.ParsePlan(s) }
+
+// FaultListen wraps a listener so every accepted connection misbehaves
+// according to the plan.
+func FaultListen(ln net.Listener, plan FaultPlan) net.Listener {
+	return faultnet.Listen(ln, plan)
+}
+
 // Declarative workflow specifications (the paper's future-work
 // programming model).
 type (
@@ -272,6 +330,9 @@ func WriteTraceCSV(w io.Writer, steps []StepRecord) error { return trace.WriteCS
 
 // WriteTraceJSONL emits one JSON object per line per step record.
 func WriteTraceJSONL(w io.Writer, steps []StepRecord) error { return trace.WriteJSONL(w, steps) }
+
+// ReadTraceJSONL parses records written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) ([]StepRecord, error) { return trace.ReadJSONL(r) }
 
 // WritePlotfile serializes an AMR hierarchy snapshot.
 func WritePlotfile(w io.Writer, h *Hierarchy) error { return plotfile.Write(w, h) }

@@ -13,6 +13,10 @@ import (
 type Engine struct {
 	cfg  Config
 	plan map[policy.Mechanism]bool
+
+	// stagingDownUntil is the first step at which staging is trusted again
+	// after a transport failure (see ReportStagingFailure).
+	stagingDownUntil int
 }
 
 // NewEngine builds an engine for the workflow configuration; the
@@ -29,6 +33,20 @@ func NewEngine(cfg Config) *Engine {
 // PlanIncludes reports whether the objective's root–leaf plan contains the
 // mechanism.
 func (e *Engine) PlanIncludes(m policy.Mechanism) bool { return e.plan[m] }
+
+// ReportStagingFailure records that the staging transport exhausted its
+// retry budget at step. Placement stays in-situ for the configured cooldown
+// window — the middleware layer's reaction to ErrStagingUnavailable: a
+// service that just failed its full retry budget is very unlikely to absorb
+// the next step's data, so the engine stops offering it work instead of
+// paying the retry tax every step.
+func (e *Engine) ReportStagingFailure(step int) {
+	e.stagingDownUntil = step + 1 + e.cfg.StagingFailureCooldown
+}
+
+// StagingSuspect reports whether step falls inside the cooldown window of a
+// recorded staging failure.
+func (e *Engine) StagingSuspect(step int) bool { return step < e.stagingDownUntil }
 
 // AppDecision reports what the application-layer mechanism did.
 type AppDecision struct {
@@ -159,6 +177,12 @@ type PlacementState struct {
 // objective's plan excludes it (MaxStagingUtilization), analysis stays
 // in-transit so the staging pool the resource layer sized is the one used.
 func (e *Engine) AdaptMiddleware(st PlacementState) (policy.Placement, string) {
+	// A staging transport in failure cooldown overrides every other
+	// consideration, static placement included: offering work to a dead
+	// service would stall the step on its retry budget.
+	if e.StagingSuspect(st.Sample.Step) {
+		return policy.PlaceInSitu, policy.ReasonStagingSuspect
+	}
 	if !e.cfg.Enable.Middleware {
 		return e.cfg.StaticPlacement, "static placement (middleware adaptation disabled)"
 	}

@@ -48,6 +48,13 @@ type StepRecord struct {
 	// Resource layer.
 	StagingCores int // pool size in effect this step
 
+	// Staging transport health (nonzero only with a remote Config.Staging
+	// transport). Retries/reconnects the transport performed during this
+	// step's in-transit attempt; when the budget ran out the step shows
+	// PlacementReason == policy.ReasonStagingFailure and Placement in-situ.
+	StagingRetries    int
+	StagingReconnects int
+
 	// Memory (model scale).
 	PeakMemBytes     int64 // max per-rank simulation memory in use
 	MinMemAvail      int64 // tightest per-rank availability

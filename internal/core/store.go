@@ -1,0 +1,49 @@
+package core
+
+import (
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/staging"
+)
+
+// StagingStore is where in-transit data physically goes. The in-process
+// staging.Space is the default; a staging.Client over TCP plugs in the same
+// way (Config.Staging), giving the workflow a real, failure-prone transport.
+// Unlike the in-process space, a remote store's operations can fail with
+// staging.ErrStagingUnavailable — the signal the middleware layer turns
+// into graceful in-situ degradation.
+type StagingStore interface {
+	Put(varName string, version int, d *field.BoxData) error
+	GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error)
+	DropBefore(varName string, version int) (int64, error)
+}
+
+// transportStats is the optional observability face of a StagingStore:
+// stores backed by a retrying transport report cumulative retry/reconnect
+// counters, which the workflow snapshots into per-step trace records.
+type transportStats interface {
+	TransportStats() (retries, reconnects int64)
+}
+
+// spaceStore adapts the in-process Space to the StagingStore interface.
+type spaceStore struct{ sp *staging.Space }
+
+func (s spaceStore) Put(varName string, version int, d *field.BoxData) error {
+	return s.sp.Put(varName, version, d)
+}
+
+func (s spaceStore) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	return s.sp.GetBlocks(varName, version, region)
+}
+
+func (s spaceStore) DropBefore(varName string, version int) (int64, error) {
+	return s.sp.DropBefore(varName, version), nil
+}
+
+// transportStatsOf reads the store's counters when it has any.
+func transportStatsOf(store StagingStore) (retries, reconnects int64) {
+	if ts, ok := store.(transportStats); ok {
+		return ts.TransportStats()
+	}
+	return 0, 0
+}

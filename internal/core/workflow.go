@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"crosslayer/internal/amr"
@@ -73,6 +74,20 @@ type Config struct {
 	// option): staging gets exactly what it can absorb before the next
 	// step's data, the rest runs in-situ. Requires Enable.Middleware.
 	EnableHybrid bool
+
+	// Staging optionally routes in-transit data through an external
+	// staging transport (typically a staging.Client over TCP) instead of
+	// the workflow's in-process Space. A remote transport can fail; when an
+	// operation returns staging.ErrStagingUnavailable the step degrades
+	// gracefully to in-situ execution (placement_reason=staging_failure)
+	// and the engine holds placement in-situ for StagingFailureCooldown
+	// steps. Nil keeps the in-process space.
+	Staging StagingStore
+
+	// StagingFailureCooldown is how many extra steps placement stays
+	// in-situ after a staging transport failure (default 2; negative
+	// disables the cooldown, so only the failing step itself degrades).
+	StagingFailureCooldown int
 }
 
 func (c *Config) withDefaults() Config {
@@ -101,6 +116,12 @@ func (c *Config) withDefaults() Config {
 	if out.AnalysisEvery == 0 {
 		out.AnalysisEvery = 1
 	}
+	if out.StagingFailureCooldown == 0 {
+		out.StagingFailureCooldown = 2
+	}
+	if out.StagingFailureCooldown < 0 {
+		out.StagingFailureCooldown = 0
+	}
 	return out
 }
 
@@ -111,8 +132,11 @@ type Workflow struct {
 	sim    solver.Simulation
 	svc    analysis.Service
 	space  *staging.Space
+	store  StagingStore // where in-transit data goes (space or remote client)
 	mon    *monitor.Monitor
 	engine *Engine
+
+	closers []io.Closer // transport resources shut down by Close
 
 	simTL *sysmodel.Timeline
 	pool  *sysmodel.StagingPool
@@ -146,11 +170,33 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 		pool:          sysmodel.NewStagingPool(c.StagingCores),
 		stagingMemCap: c.Machine.MemPerCore() * int64(c.StagingCores),
 	}
+	w.store = c.Staging
+	if w.store == nil {
+		w.store = spaceStore{w.space}
+	}
 	w.engine = NewEngine(c)
 	if !c.Enable.Resource {
 		w.pool.Resize(c.StagingCores) // static allocation keeps the full pool
 	}
 	return w, nil
+}
+
+// AddCloser registers a transport resource (staging client, server, …) to
+// shut down with the workflow.
+func (w *Workflow) AddCloser(c io.Closer) { w.closers = append(w.closers, c) }
+
+// Close releases registered transport resources, last-attached first. A
+// workflow with none is trivially closable; running a workflow after Close
+// is invalid.
+func (w *Workflow) Close() error {
+	var first error
+	for i := len(w.closers) - 1; i >= 0; i-- {
+		if err := w.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.closers = nil
+	return first
 }
 
 // Monitor exposes the workflow's monitor (read-only use).
@@ -375,7 +421,9 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 			rec.Placement = placement
 			rec.PlacementReason = fmt.Sprintf("hybrid: %.0f%% in-situ, %.0f%% shipped", 100*phi, 100*(1-phi))
 			w.runInSitu(rec, inSituBlocks, sample, dataReady)
-			w.runInTransit(rec, shipBlocks, dataReady)
+			if !w.runInTransit(rec, shipBlocks, dataReady) {
+				w.degradeToInSitu(rec, shipBlocks, sample, dataReady)
+			}
 			return
 		}
 	}
@@ -386,8 +434,23 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 		w.runInSitu(rec, reduced, sample, dataReady)
 	case policy.PlaceInTransit:
 		rec.HybridFrac = 0
-		w.runInTransit(rec, reduced, dataReady)
+		if !w.runInTransit(rec, reduced, dataReady) {
+			w.degradeToInSitu(rec, reduced, sample, dataReady)
+		}
 	}
+}
+
+// degradeToInSitu is the graceful fallback when the staging transport
+// exhausts its retry budget mid-step: the blocks are still resident on the
+// simulation side, so the analysis runs there instead of hanging or
+// failing, the engine is told (placement cools down in-situ for the next
+// steps), and the step record carries the reason for the trace.
+func (w *Workflow) degradeToInSitu(rec *StepRecord, blocks []*field.BoxData, sample monitor.Sample, dataReady float64) {
+	w.engine.ReportStagingFailure(w.step)
+	rec.Placement = policy.PlaceInSitu
+	rec.PlacementReason = policy.ReasonStagingFailure
+	rec.HybridFrac = 1
+	w.runInSitu(rec, blocks, sample, dataReady)
 }
 
 // splitBlocks partitions blocks so the first part holds roughly the given
@@ -427,12 +490,16 @@ func (w *Workflow) runInSitu(rec *StepRecord, blocks []*field.BoxData, sample mo
 	rec.Triangles += int(rep.Metrics["triangles"])
 }
 
-// runInTransit ships blocks into the staging space (real put), pays the
-// asynchronous send on the simulation side, then runs analysis on the
-// staging pool.
-func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64) {
+// runInTransit ships blocks into the staging store (real put — over TCP
+// when Config.Staging is a remote client), pays the asynchronous send on
+// the simulation side, then runs analysis on the staging pool. It reports
+// false when the transport failed: all remote I/O happens before any cost
+// is booked, so a failed attempt leaves the modeled clocks and counters
+// untouched apart from the retry/reconnect counts, and the caller degrades
+// the step to in-situ execution.
+func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64) bool {
 	if len(blocks) == 0 {
-		return
+		return true
 	}
 	c := &w.cfg
 	dx0 := 1.0 / float64(w.sim.Hierarchy().Cfg.Domain.Size().MaxComp())
@@ -443,13 +510,22 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	bytes := w.scale(cells * 8)
 	transfer := c.Machine.TransferTime(bytes, min(c.SimCores, w.pool.Cores())) * c.LinkDegrade
 
+	// --- remote I/O first; nothing is booked until it all succeeded ---
 	version := w.step
-	for _, b := range blocks {
-		if err := w.space.Put("analysis", version, b); err != nil {
-			// The real store is unlimited; failure here is a bug.
-			panic(fmt.Sprintf("core: staging put failed: %v", err))
-		}
+	retries0, reconnects0 := transportStatsOf(w.store)
+	got, err := w.shipAndFetch(version, blocks)
+	retries1, reconnects1 := transportStatsOf(w.store)
+	rec.StagingRetries += int(retries1 - retries0)
+	rec.StagingReconnects += int(reconnects1 - reconnects0)
+	if err != nil {
+		// Best-effort cleanup of a partially written version; if the
+		// service is down this fails too, and eviction happens on the next
+		// successful DropBefore.
+		w.store.DropBefore("analysis", version+1)
+		return false
 	}
+
+	// --- transport succeeded: book the modeled costs and analyze ---
 	w.stagingMemUsed += bytes
 	rec.BytesMoved += bytes
 	rec.TransferSeconds += transfer
@@ -458,17 +534,6 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	// the time to process data").
 	w.simTL.Schedule(dataReady, transfer*0.1)
 
-	// Blocks carry their own level's index coordinates; a region covering
-	// the finest level's index space contains every level's boxes.
-	h := w.sim.Hierarchy()
-	queryRegion := h.Cfg.Domain
-	for li := 0; li < h.FinestLevel(); li++ {
-		queryRegion = queryRegion.Refine(h.Cfg.RefRatio)
-	}
-	got, err := w.space.GetBlocks("analysis", version, queryRegion)
-	if err != nil {
-		panic(fmt.Sprintf("core: staging get failed: %v", err))
-	}
 	rep := w.svc.Analyze(got, 0, dx0)
 	// The staging side first receives and indexes the data (its servers —
 	// one per staging node — do that work), then analyzes.
@@ -481,9 +546,28 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	rec.Triangles += int(rep.Metrics["triangles"])
 
 	// The staged version is consumed; free its memory.
-	w.space.DropBefore("analysis", version+1)
+	w.store.DropBefore("analysis", version+1)
 	w.stagingMemUsed -= bytes
 	if w.stagingMemUsed < 0 {
 		w.stagingMemUsed = 0
 	}
+	return true
+}
+
+// shipAndFetch puts one version's blocks into the staging store and reads
+// them back for in-transit analysis, returning the first transport error.
+func (w *Workflow) shipAndFetch(version int, blocks []*field.BoxData) ([]*field.BoxData, error) {
+	for _, b := range blocks {
+		if err := w.store.Put("analysis", version, b); err != nil {
+			return nil, err
+		}
+	}
+	// Blocks carry their own level's index coordinates; a region covering
+	// the finest level's index space contains every level's boxes.
+	h := w.sim.Hierarchy()
+	queryRegion := h.Cfg.Domain
+	for li := 0; li < h.FinestLevel(); li++ {
+		queryRegion = queryRegion.Refine(h.Cfg.RefRatio)
+	}
+	return w.store.GetBlocks("analysis", version, queryRegion)
 }

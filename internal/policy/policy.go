@@ -123,6 +123,19 @@ func SelectFactor(sdata, memAvailable int64, factors []int) (int, error) {
 	return best, nil
 }
 
+// Placement-reason markers for staging-transport degradation. They appear
+// verbatim in the placement_reason trace column so offline analysis can
+// count degraded steps.
+const (
+	// ReasonStagingFailure marks a step that was placed in-transit but fell
+	// back to in-situ because the staging transport exhausted its retry
+	// budget (staging.ErrStagingUnavailable).
+	ReasonStagingFailure = "staging_failure"
+	// ReasonStagingSuspect marks a step placed in-situ because a recent
+	// transport failure put staging in a cooldown window.
+	ReasonStagingSuspect = "staging_suspect"
+)
+
 // Placement is the middleware-layer decision D_i.
 type Placement int
 

@@ -11,13 +11,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"crosslayer/internal/amr"
 	"crosslayer/internal/core"
+	"crosslayer/internal/faultnet"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
 	"crosslayer/internal/solver"
+	"crosslayer/internal/staging"
 	"crosslayer/internal/sysmodel"
 )
 
@@ -64,12 +68,47 @@ type Workflow struct {
 	EntropyBands []BandSpec `json:"entropy_bands"`
 
 	Isovalues []float64 `json:"isovalues"`
+
+	// StagingTCP routes in-transit data through a real loopback TCP
+	// staging server (the deployment shape) instead of the in-process
+	// space. Transport failures then degrade steps to in-situ execution.
+	StagingTCP bool `json:"staging_tcp"`
+	// Fault injects deterministic transport faults into the TCP staging
+	// path (requires staging_tcp) — the controlled-failure harness.
+	Fault *FaultSpec `json:"fault"`
+	// StagingFailureCooldown is how many extra steps placement stays
+	// in-situ after a staging failure (default 2, -1 disables).
+	StagingFailureCooldown int `json:"staging_failure_cooldown"`
 }
 
 // BandSpec is one entropy band in JSON form.
 type BandSpec struct {
 	Below  float64 `json:"below"`
 	Factor int     `json:"factor"`
+}
+
+// FaultSpec is the JSON shape of a faultnet.Plan (see that package for
+// fault semantics). The seed makes every run of the spec reproduce the
+// same failure sequence.
+type FaultSpec struct {
+	Seed           int64   `json:"seed"`
+	RefuseAccepts  int     `json:"refuse_accepts"`
+	DropAfterBytes int64   `json:"drop_after_bytes"`
+	LatencyMS      float64 `json:"latency_ms"`
+	TruncateRate   float64 `json:"truncate_rate"`
+	CorruptRate    float64 `json:"corrupt_rate"`
+}
+
+// Plan converts the JSON fault shape into a faultnet plan.
+func (f *FaultSpec) Plan() faultnet.Plan {
+	return faultnet.Plan{
+		Seed:           f.Seed,
+		RefuseAccepts:  f.RefuseAccepts,
+		DropAfterBytes: f.DropAfterBytes,
+		Latency:        time.Duration(f.LatencyMS * float64(time.Millisecond)),
+		TruncateRate:   f.TruncateRate,
+		CorruptRate:    f.CorruptRate,
+	}
 }
 
 // Parse reads and validates a JSON workflow specification.
@@ -128,6 +167,14 @@ func (w *Workflow) validate() error {
 	}
 	if w.Steps < 0 {
 		return fmt.Errorf("spec: negative steps")
+	}
+	if w.Fault != nil {
+		if !w.StagingTCP {
+			return fmt.Errorf("spec: fault injection requires staging_tcp")
+		}
+		if err := w.Fault.Plan().Validate(); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
 	}
 	return nil
 }
@@ -201,11 +248,66 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 		cfg.Hints.FactorPhases = []policy.FactorPhase{{FromStep: 0, Factors: w.Factors}}
 	}
 
+	cfg.StagingFailureCooldown = w.StagingFailureCooldown
+
+	var closers []io.Closer
+	if w.StagingTCP {
+		client, srv, err := w.buildStagingTCP(amrCfg.Domain)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Staging = client
+		closers = append(closers, srv, client)
+	}
+
 	wf, err := core.NewWorkflow(cfg, sim)
 	if err != nil {
+		for _, c := range closers {
+			c.Close()
+		}
 		return nil, nil, err
 	}
+	for _, c := range closers {
+		wf.AddCloser(c)
+	}
 	return wf, sim, nil
+}
+
+// buildStagingTCP stands up a loopback staging server (optionally behind the
+// spec's fault plan) and dials a resilient client with a tight retry budget,
+// so a dead server degrades steps instead of stalling the run for minutes.
+func (w *Workflow) buildStagingTCP(domain grid.Box) (*staging.Client, *staging.Server, error) {
+	space := staging.NewSpace(4, 0, domain)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("spec: staging listen: %w", err)
+	}
+	wrapped := ln
+	var plan faultnet.Plan
+	if w.Fault != nil {
+		plan = w.Fault.Plan()
+		wrapped = faultnet.Listen(ln, plan)
+	}
+	srv := staging.ServeOn(wrapped, space)
+	opts := staging.ClientOptions{
+		OpTimeout:   2 * time.Second,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+	}
+	if w.Fault != nil {
+		// Dial through the same fault plan so client-side connection faults
+		// (e.g. drop-after budgets) also apply to reconnect attempts.
+		opts.DialFunc = plan.Dialer()
+	}
+	client, err := staging.DialOptions(ln.Addr().String(), opts)
+	if err != nil {
+		// A refuse-accepts plan rejects the very first dial; the resilient
+		// client retries from inside its op loop, so start it unconnected
+		// rather than failing the build.
+		client = staging.NewClient(ln.Addr().String(), opts)
+	}
+	return client, srv, nil
 }
 
 // StepsOrDefault returns the configured step count (default 20).

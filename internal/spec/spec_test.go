@@ -127,3 +127,80 @@ func TestStepsOrDefault(t *testing.T) {
 		t.Error("explicit steps")
 	}
 }
+
+func TestStagingTCPSpecRuns(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{
+		"application": "advection-diffusion",
+		"domain": [16, 16, 16],
+		"adapt": ["middleware"],
+		"staging_tcp": true,
+		"steps": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	res := wf.Run(3)
+	if len(res.Steps) != 3 {
+		t.Fatalf("ran %d steps", len(res.Steps))
+	}
+	// A healthy loopback server must not cause degraded steps.
+	for _, s := range res.Steps {
+		if s.PlacementReason == policy.ReasonStagingFailure {
+			t.Errorf("step %d degraded on a healthy server", s.Step)
+		}
+	}
+}
+
+func TestStagingTCPFaultSpecDegrades(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{
+		"application": "advection-diffusion",
+		"domain": [16, 16, 16],
+		"placement": "intransit",
+		"staging_tcp": true,
+		"fault": {"seed": 7, "refuse_accepts": -1},
+		"staging_failure_cooldown": -1,
+		"steps": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	res := wf.Run(2)
+	degraded := 0
+	for _, s := range res.Steps {
+		if s.PlacementReason == policy.ReasonStagingFailure {
+			degraded++
+			if s.StagingRetries == 0 {
+				t.Errorf("step %d degraded with zero retries", s.Step)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no step degraded against a refuse-all staging server")
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	bad := []string{
+		// fault without staging_tcp
+		`{"application": "polytropic-gas", "domain": [16,16,16],
+		  "fault": {"seed": 1}}`,
+		// invalid plan rates
+		`{"application": "polytropic-gas", "domain": [16,16,16],
+		  "staging_tcp": true, "fault": {"seed": 1, "corrupt_rate": 2.0}}`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("bad fault spec %d accepted", i)
+		}
+	}
+}

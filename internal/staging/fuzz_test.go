@@ -1,0 +1,150 @@
+package staging
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"testing"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+)
+
+// allocatedBytes reports cumulative heap allocation — deltas measure how
+// much a code path allocated regardless of intervening GCs.
+func allocatedBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
+}
+
+// encodeForSeed serializes a small valid block for the fuzz corpora.
+func encodeForSeed(t interface{ Fatal(...any) }, lo grid.IntVect, n, ncomp int, val float64) []byte {
+	box := grid.NewBox(lo, grid.IV(lo.X+n-1, lo.Y+n-1, lo.Z+n-1))
+	d := field.New(box, ncomp)
+	for c := 0; c < ncomp; c++ {
+		comp := d.Comp(c)
+		for i := range comp {
+			comp[i] = val + float64(c)*0.5 + float64(i)*0.001
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeBlock(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeBlock feeds arbitrary bytes to the block decoder. The decoder
+// must never panic and never allocate far beyond the input it was given;
+// when it does accept an input, re-encoding must reproduce an identical
+// block (decode∘encode is the identity on the decoder's accepted set).
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeForSeed(f, grid.IV(0, 0, 0), 2, 1, 1.25))
+	f.Add(encodeForSeed(f, grid.IV(-3, 4, 7), 3, 2, -0.5))
+	// A truthful magic with a hostile header claiming a huge box.
+	hostile := make([]byte, 32)
+	binary.LittleEndian.PutUint32(hostile[0:], blockMagic)
+	binary.LittleEndian.PutUint32(hostile[16:], uint32(int32(1<<24)))
+	binary.LittleEndian.PutUint32(hostile[20:], uint32(int32(1<<24)))
+	binary.LittleEndian.PutUint32(hostile[24:], uint32(int32(1<<24)))
+	binary.LittleEndian.PutUint32(hostile[28:], 64)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeBlock(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or hanging is not
+		}
+		var buf bytes.Buffer
+		if err := EncodeBlock(&buf, d); err != nil {
+			t.Fatalf("decoded block failed to re-encode: %v", err)
+		}
+		d2, err := DecodeBlock(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded block failed to decode: %v", err)
+		}
+		if !d.Equal(d2) {
+			t.Fatalf("decode/encode round trip not identity: %v vs %v", d.Box, d2.Box)
+		}
+	})
+}
+
+// FuzzReadRequest feeds arbitrary bytes to the server's request loop: a
+// hostile or corrupt client must never panic the server or make it
+// allocate beyond what the stream carries. The response sink is discarded;
+// only survival is asserted.
+func FuzzReadRequest(f *testing.F) {
+	// A valid put request as a seed: header + encoded block.
+	var put bytes.Buffer
+	put.WriteByte(opPut)
+	name := "analysis"
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(name)))
+	put.Write(hdr[:])
+	put.WriteString(name)
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], 3)
+	put.Write(ver[:])
+	put.Write(make([]byte, 8)) // put sequence number
+	put.Write(encodeForSeed(f, grid.IV(0, 0, 0), 2, 1, 2.5))
+	f.Add(put.Bytes())
+
+	// A valid get request.
+	var get bytes.Buffer
+	get.WriteByte(opGet)
+	get.Write(hdr[:])
+	get.WriteString(name)
+	get.Write(ver[:])
+	get.Write(make([]byte, 24))
+	f.Add(get.Bytes())
+	f.Add([]byte{opDrop, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{opStat, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space := NewSpace(1, 1<<20, grid.NewBox(grid.IV(0, 0, 0), grid.IV(63, 63, 63)))
+		s := &Server{space: space}
+		r := bufio.NewReader(bytes.NewReader(data))
+		w := bufio.NewWriter(io.Discard)
+		// Serve requests off the buffer until it errors out (EOF at the
+		// latest) — mirrors Server.handle without a real socket.
+		for i := 0; i < 16; i++ {
+			if err := s.handleOne(r, w); err != nil {
+				break
+			}
+			w.Flush()
+		}
+	})
+}
+
+// TestDecodeBoundsAllocationToInput pins the over-allocation defense: a
+// header claiming a near-maximal box followed by a tiny body must fail
+// fast without ballooning memory (the chunked reader stops at EOF).
+func TestDecodeBoundsAllocationToInput(t *testing.T) {
+	hostile := make([]byte, 32)
+	binary.LittleEndian.PutUint32(hostile[0:], blockMagic)
+	// box (0,0,0)-(399,399,399) = 64e6 cells, within maxWireCells, would be
+	// 512 MB of payload if the claim were honored up front.
+	binary.LittleEndian.PutUint32(hostile[16:], 399)
+	binary.LittleEndian.PutUint32(hostile[20:], 399)
+	binary.LittleEndian.PutUint32(hostile[24:], 399)
+	binary.LittleEndian.PutUint32(hostile[28:], 1)
+	hostile = append(hostile, make([]byte, 100)...) // 100 bytes of "payload"
+
+	var before, after int64
+	before = allocatedBytes()
+	_, err := DecodeBlock(bytes.NewReader(hostile))
+	after = allocatedBytes()
+	if err == nil {
+		t.Fatal("hostile header accepted")
+	}
+	// The decode saw ~132 bytes of input; anything beyond a couple of MB of
+	// growth means the claimed size was allocated up front.
+	if grown := after - before; grown > 8<<20 {
+		t.Errorf("decode of 132-byte input grew heap by %d bytes", grown)
+	}
+}

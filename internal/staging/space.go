@@ -29,12 +29,17 @@ var ErrNoMemory = errors.New("staging: server memory exhausted")
 // ErrNotFound reports that no stored block intersects the requested region.
 var ErrNotFound = errors.New("staging: no data for requested region")
 
-// Object is one stored block.
+// Object is one stored block. Seq identifies one logical put for replay
+// deduplication (see PutSeq); NoSeq marks an unsequenced put.
 type Object struct {
 	Var     string
 	Version int
+	Seq     int64
 	Data    *field.BoxData
 }
+
+// NoSeq is the Seq of unsequenced puts; they always append.
+const NoSeq int64 = -1
 
 // server is one shard of the space.
 type server struct {
@@ -52,10 +57,27 @@ func (s *server) put(o *Object) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sz := o.Data.Bytes()
+	k := key(o.Var, o.Version)
+	// A sequenced put replaces the object with the same sequence number: a
+	// client replaying a put whose response was lost must not duplicate
+	// data (retry idempotency). Matching must NOT fall back to the box —
+	// blocks from different AMR levels legitimately share box coordinates
+	// (a level-0 box and a refined level-1 box can coincide numerically).
+	if o.Seq != NoSeq {
+		for i, old := range s.objects[k] {
+			if old.Seq == o.Seq {
+				if s.capacity > 0 && s.memUsed-old.Data.Bytes()+sz > s.capacity {
+					return ErrNoMemory
+				}
+				s.memUsed += sz - old.Data.Bytes()
+				s.objects[k][i] = o
+				return nil
+			}
+		}
+	}
 	if s.capacity > 0 && s.memUsed+sz > s.capacity {
 		return ErrNoMemory
 	}
-	k := key(o.Var, o.Version)
 	s.objects[k] = append(s.objects[k], o)
 	s.memUsed += sz
 	return nil
@@ -138,10 +160,19 @@ func (sp *Space) route(b grid.Box) *server {
 // Put stores a block of varName at version. The block is routed to one
 // shard; ErrNoMemory is returned if that shard is full.
 func (sp *Space) Put(varName string, version int, d *field.BoxData) error {
+	return sp.PutSeq(varName, version, NoSeq, d)
+}
+
+// PutSeq stores a block under a caller-chosen sequence number: a later put
+// with the same (var, version, seq) replaces the block instead of adding a
+// second copy. The TCP client tags every logical put with a unique seq that
+// stays fixed across its retries, making replays after a lost response
+// idempotent. Seq NoSeq always appends (plain Put).
+func (sp *Space) PutSeq(varName string, version int, seq int64, d *field.BoxData) error {
 	if d == nil || d.Box.IsEmpty() {
 		return errors.New("staging: empty block")
 	}
-	return sp.route(d.Box).put(&Object{Var: varName, Version: version, Data: d})
+	return sp.route(d.Box).put(&Object{Var: varName, Version: version, Seq: seq, Data: d})
 }
 
 // PutAsync stores a block in the background, delivering the result on the

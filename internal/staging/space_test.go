@@ -199,3 +199,43 @@ func TestMemCapacity(t *testing.T) {
 		t.Errorf("unlimited capacity = %d", got)
 	}
 }
+
+// TestPutKeepsDistinctBlocksWithEqualBoxes pins append semantics for plain
+// puts: blocks from different AMR levels can share box coordinates (a
+// level-0 box and a refined level-1 box coincide numerically), so a put
+// must never replace an existing block just because the boxes match.
+// Replay dedup is opt-in via PutSeq's sequence numbers.
+func TestPutKeepsDistinctBlocksWithEqualBoxes(t *testing.T) {
+	sp := NewSpace(2, 0, dom())
+	if err := sp.Put("v", 0, block(grid.IV(0, 0, 0), 4, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Put("v", 0, block(grid.IV(0, 0, 0), 4, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := sp.GetBlocks("v", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("stored %d blocks, want 2 (same box must not replace)", len(blocks))
+	}
+
+	// Sequenced puts with the same seq DO replace.
+	if err := sp.PutSeq("w", 0, 7, block(grid.IV(0, 0, 0), 4, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.PutSeq("w", 0, 7, block(grid.IV(0, 0, 0), 4, 3.0)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err = sp.GetBlocks("w", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("stored %d blocks, want 1 (same seq must replace)", len(blocks))
+	}
+	if got := blocks[0].Comp(0)[0]; got != 3.0 {
+		t.Errorf("replayed put kept stale data: %g", got)
+	}
+}

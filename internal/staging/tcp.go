@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
@@ -20,10 +22,19 @@ import (
 // dedicated staging nodes running servers, simulation ranks connecting as
 // clients — realized with the stdlib net package.
 //
+// The staging area is a shared, failure-prone resource, so the client is
+// resilient by default: every operation runs under a deadline, transport
+// failures trigger bounded exponential-backoff retries with a transparent
+// reconnect (the protocol is one request per round trip, so a retry is
+// always a clean replay), and once the retry budget is exhausted the typed
+// ErrStagingUnavailable surfaces so callers — the workflow's middleware
+// layer above all — can degrade to in-situ execution instead of hanging.
+//
 // Protocol (little-endian), one request per round trip:
 //
 //	request:  op uint8 | varLen uint16 | var bytes | version int32 | body
-//	  opPut   body = one wire-format block
+//	  opPut   body = seq int64 | one wire-format block (seq identifies the
+//	          logical put: a replayed request replaces, not duplicates)
 //	  opGet   body = region box (6×int32)
 //	  opDrop  body = empty (drops versions < version)
 //	  opStat  body = empty
@@ -47,6 +58,12 @@ const (
 // ErrProtocol reports a malformed or unexpected protocol exchange.
 var ErrProtocol = errors.New("staging: protocol error")
 
+// ErrStagingUnavailable reports that an operation's full retry budget was
+// exhausted without one clean round trip: the staging service is
+// unreachable, dead, or too degraded to use. The workflow treats it as a
+// placement signal and falls back to in-situ analysis.
+var ErrStagingUnavailable = errors.New("staging: service unavailable")
+
 // Server serves a Space over TCP.
 type Server struct {
 	space *Space
@@ -55,6 +72,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by space.
@@ -63,23 +81,56 @@ func Serve(addr string, space *Space) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{space: space, ln: ln}
+	return ServeOn(ln, space), nil
+}
+
+// ServeOn starts a server on an existing listener — the hook fault-injection
+// harnesses use to interpose a wrapped listener (e.g. faultnet.Listen).
+func ServeOn(ln net.Listener, space *Space) *Server {
+	s := &Server{space: space, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections and waits for in-flight handlers.
+// Close stops accepting connections, severs in-flight ones, and waits for
+// every handler goroutine to exit. A handler blocked mid-request cannot
+// outlive Close: its connection is closed under it.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track registers conn for Close-time severing; it reports false when the
+// server is already closed (the conn must be dropped, not served).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -95,9 +146,14 @@ func (s *Server) acceptLoop() {
 			}
 			continue // transient accept error
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.handle(conn)
 		}()
@@ -141,6 +197,11 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 
 	switch op {
 	case opPut:
+		var seqBuf [8]byte
+		if _, err := io.ReadFull(r, seqBuf[:]); err != nil {
+			return err
+		}
+		seq := int64(binary.LittleEndian.Uint64(seqBuf[:]))
 		d, err := DecodeBlock(r)
 		if err != nil {
 			if errors.Is(err, ErrBadBlock) {
@@ -149,7 +210,7 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 			}
 			return err
 		}
-		switch err := s.space.Put(varName, version, d); {
+		switch err := s.space.PutSeq(varName, version, seq, d); {
 		case errors.Is(err, ErrNoMemory):
 			return w.WriteByte(statusNoMemory)
 		case err != nil:
@@ -209,26 +270,188 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 	return fmt.Errorf("%w: unknown op %d", ErrProtocol, op)
 }
 
-// Client talks to a staging Server. It is safe for concurrent use; requests
-// on one client serialize over its single connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+// ClientOptions tunes the client's resilience behavior. The zero value
+// selects the defaults noted on each field.
+type ClientOptions struct {
+	// OpTimeout bounds one attempt of one operation, reconnect included
+	// (default 10s).
+	OpTimeout time.Duration
+
+	// MaxRetries is how many times a failed operation is retried after the
+	// first attempt (default 3; negative disables retries entirely).
+	MaxRetries int
+
+	// BackoffBase is the first retry's delay; each further retry doubles it
+	// up to BackoffMax (defaults 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// DialFunc replaces the transport dial — fault-injection harnesses use
+	// it to interpose a faultnet wrapper (default net.DialTimeout over tcp).
+	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
-// Dial connects to a staging server.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.OpTimeout == 0 {
+		o.OpTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 5 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 250 * time.Millisecond
+	}
+	if o.DialFunc == nil {
+		o.DialFunc = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// Client talks to a staging Server. It is safe for concurrent use; requests
+// on one client serialize over its single connection. Transport failures
+// are retried with reconnect under the client's options; application-level
+// outcomes (ErrNotFound, ErrNoMemory) are returned as-is.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	retries    atomic.Int64 // retry attempts across all operations
+	reconnects atomic.Int64 // successful re-dials after a failure
+	seq        atomic.Int64 // last logical-put sequence number issued
+	seqBase    int64        // this client's slice of the process seq space
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+}
+
+// clientSeqSlices hands each client in this process a disjoint 2^32-wide
+// slice of the sequence space, so concurrent clients writing the same
+// variable never dedupe each other's puts. Clients in different processes
+// are distinguished by their separate connections' write ordering only;
+// cross-process seq collisions would need 2^32 puts from one client.
+var clientSeqSlices atomic.Int64
+
+func newSeqBase() int64 { return clientSeqSlices.Add(1) << 32 }
+
+// Dial connects to a staging server with default resilience options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, ClientOptions{})
+}
+
+// NewClient builds a client without dialing: the first operation connects
+// lazily under the retry policy. Use it when the server may legitimately be
+// unreachable at construction time (fault-injection runs) and failures
+// should surface as ErrStagingUnavailable per operation instead.
+func NewClient(addr string, opts ClientOptions) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults(), seqBase: newSeqBase()}
+}
+
+// DialOptions connects to a staging server with explicit options. The
+// initial connection attempt runs under OpTimeout and its failure is
+// returned immediately (no retry): a server that was never there is a
+// configuration error, not a transient fault.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults(), seqBase: newSeqBase()}
+	conn, err := c.opts.DialFunc(addr, c.opts.OpTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	c.attach(conn)
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// attach installs conn as the client's current connection.
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+}
+
+// dropConnLocked severs the current connection after a failure so the next
+// attempt starts from a clean dial (the stream may be desynced mid-message).
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r, c.w = nil, nil
+	}
+}
+
+// Close closes the connection; operations in flight or issued later fail
+// with net.ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.r, c.w = nil, nil
+	return err
+}
+
+// TransportStats reports the cumulative retry and reconnect counts — the
+// observability hook the workflow copies into its per-step trace records.
+func (c *Client) TransportStats() (retries, reconnects int64) {
+	return c.retries.Load(), c.reconnects.Load()
+}
+
+// do runs op under the retry policy: each attempt gets a fresh per-op
+// deadline; any transport or protocol error drops the connection, backs
+// off, re-dials and replays. Application-level results (nil, ErrNotFound,
+// ErrNoMemory) end the loop immediately. When the budget is exhausted the
+// last error is wrapped in ErrStagingUnavailable.
+func (c *Client) do(op func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if c.closed {
+			return net.ErrClosed
+		}
+		if attempt > 0 {
+			c.retries.Add(1)
+			backoff := c.opts.BackoffMax
+			if shift := attempt - 1; shift < 20 {
+				if b := c.opts.BackoffBase << shift; b < backoff {
+					backoff = b
+				}
+			}
+			time.Sleep(backoff)
+		}
+		if c.conn == nil {
+			conn, err := c.opts.DialFunc(c.addr, c.opts.OpTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.attach(conn)
+			c.reconnects.Add(1)
+		}
+		c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+		err := op()
+		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrNoMemory) {
+			c.conn.SetDeadline(time.Time{})
+			return err
+		}
+		lastErr = err
+		c.dropConnLocked()
+	}
+	return fmt.Errorf("%w: %d attempts failed, last: %v", ErrStagingUnavailable, c.opts.MaxRetries+1, lastErr)
+}
 
 func (c *Client) writeHeader(op byte, varName string, version int) error {
 	if len(varName) > 256 {
@@ -256,11 +479,21 @@ func (c *Client) readStatus() (byte, error) {
 	return c.r.ReadByte()
 }
 
-// Put stores a block of varName at version on the server.
+// Put stores a block of varName at version on the server. Each call is one
+// logical put with a sequence number fixed across its retries, so a replay
+// after a lost response replaces the stored block instead of duplicating it.
 func (c *Client) Put(varName string, version int, d *field.BoxData) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	seq := c.seqBase + c.seq.Add(1)
+	return c.do(func() error { return c.put(varName, version, seq, d) })
+}
+
+func (c *Client) put(varName string, version int, seq int64, d *field.BoxData) error {
 	if err := c.writeHeader(opPut, varName, version); err != nil {
+		return err
+	}
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], uint64(seq))
+	if _, err := c.w.Write(seqBuf[:]); err != nil {
 		return err
 	}
 	if err := EncodeBlock(c.w, d); err != nil {
@@ -283,8 +516,16 @@ func (c *Client) Put(varName string, version int, d *field.BoxData) error {
 // GetBlocks fetches the stored blocks of varName at version intersecting
 // region.
 func (c *Client) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var out []*field.BoxData
+	err := c.do(func() error {
+		var err error
+		out, err = c.getBlocks(varName, version, region)
+		return err
+	})
+	return out, err
+}
+
+func (c *Client) getBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
 	if err := c.writeHeader(opGet, varName, version); err != nil {
 		return nil, err
 	}
@@ -328,8 +569,16 @@ func (c *Client) GetBlocks(varName string, version int, region grid.Box) ([]*fie
 // DropBefore evicts versions of varName below version, returning bytes
 // freed on the server.
 func (c *Client) DropBefore(varName string, version int) (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var freed int64
+	err := c.do(func() error {
+		var err error
+		freed, err = c.dropBefore(varName, version)
+		return err
+	})
+	return freed, err
+}
+
+func (c *Client) dropBefore(varName string, version int) (int64, error) {
 	if err := c.writeHeader(opDrop, varName, version); err != nil {
 		return 0, err
 	}
@@ -349,8 +598,16 @@ func (c *Client) DropBefore(varName string, version int) (int64, error) {
 
 // MemUsed reports the server's total stored bytes.
 func (c *Client) MemUsed() (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var used int64
+	err := c.do(func() error {
+		var err error
+		used, err = c.memUsed()
+		return err
+	})
+	return used, err
+}
+
+func (c *Client) memUsed() (int64, error) {
 	if err := c.writeHeader(opStat, "", 0); err != nil {
 		return 0, err
 	}

@@ -20,7 +20,8 @@ var csvHeader = []string{
 	"step", "factor", "placement", "placement_reason",
 	"sim_seconds", "reduce_seconds", "analysis_seconds", "transfer_seconds",
 	"bytes_produced", "bytes_analyzed", "bytes_moved",
-	"staging_cores", "peak_mem_bytes", "min_mem_avail",
+	"staging_cores", "staging_retries", "staging_reconnects",
+	"peak_mem_bytes", "min_mem_avail",
 	"triangles", "sim_clock", "staging_clock", "finest_level",
 }
 
@@ -38,7 +39,9 @@ func WriteCSV(w io.Writer, steps []core.StepRecord) error {
 			s.Placement.String(), s.PlacementReason,
 			f(s.SimSeconds), f(s.ReduceSeconds), f(s.AnalysisSeconds), f(s.TransferSeconds),
 			i(s.BytesProduced), i(s.BytesAnalyzed), i(s.BytesMoved),
-			strconv.Itoa(s.StagingCores), i(s.PeakMemBytes), i(s.MinMemAvail),
+			strconv.Itoa(s.StagingCores),
+			strconv.Itoa(s.StagingRetries), strconv.Itoa(s.StagingReconnects),
+			i(s.PeakMemBytes), i(s.MinMemAvail),
 			strconv.Itoa(s.Triangles), f(s.SimClock), f(s.StagingClock),
 			strconv.Itoa(s.FinestLevel),
 		}
@@ -63,8 +66,10 @@ type jsonStep struct {
 	BytesProduced   int64   `json:"bytes_produced"`
 	BytesAnalyzed   int64   `json:"bytes_analyzed"`
 	BytesMoved      int64   `json:"bytes_moved"`
-	StagingCores    int     `json:"staging_cores"`
-	PeakMemBytes    int64   `json:"peak_mem_bytes"`
+	StagingCores      int   `json:"staging_cores"`
+	StagingRetries    int   `json:"staging_retries,omitempty"`
+	StagingReconnects int   `json:"staging_reconnects,omitempty"`
+	PeakMemBytes      int64 `json:"peak_mem_bytes"`
 	MinMemAvail     int64   `json:"min_mem_avail"`
 	Triangles       int     `json:"triangles,omitempty"`
 	SimClock        float64 `json:"sim_clock"`
@@ -83,7 +88,9 @@ func WriteJSONL(w io.Writer, steps []core.StepRecord) error {
 			AnalysisSeconds: s.AnalysisSeconds, TransferSeconds: s.TransferSeconds,
 			BytesProduced: s.BytesProduced, BytesAnalyzed: s.BytesAnalyzed,
 			BytesMoved:   s.BytesMoved,
-			StagingCores: s.StagingCores, PeakMemBytes: s.PeakMemBytes,
+			StagingCores: s.StagingCores,
+			StagingRetries: s.StagingRetries, StagingReconnects: s.StagingReconnects,
+			PeakMemBytes: s.PeakMemBytes,
 			MinMemAvail: s.MinMemAvail, Triangles: s.Triangles,
 			SimClock: s.SimClock, StagingClock: s.StagingClock,
 			FinestLevel: s.FinestLevel,
@@ -112,7 +119,9 @@ func ReadJSONL(r io.Reader) ([]core.StepRecord, error) {
 			AnalysisSeconds: js.AnalysisSeconds, TransferSeconds: js.TransferSeconds,
 			BytesProduced: js.BytesProduced, BytesAnalyzed: js.BytesAnalyzed,
 			BytesMoved:   js.BytesMoved,
-			StagingCores: js.StagingCores, PeakMemBytes: js.PeakMemBytes,
+			StagingCores: js.StagingCores,
+			StagingRetries: js.StagingRetries, StagingReconnects: js.StagingReconnects,
+			PeakMemBytes: js.PeakMemBytes,
 			MinMemAvail: js.MinMemAvail, Triangles: js.Triangles,
 			SimClock: js.SimClock, StagingClock: js.StagingClock,
 			FinestLevel: js.FinestLevel,
