@@ -41,6 +41,8 @@ func main() {
 	plotPath := fs.String("plotfile", "", "write the final AMR hierarchy snapshot to this file (run mode)")
 	stagingTCP := fs.Bool("staging-tcp", false, "route in-transit data through a loopback TCP staging server (run mode)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
+	eventsPath := fs.String("events", "", "stream structured runtime events as JSON Lines to this file (run mode); event log to summarize (report mode)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on this address during the run, e.g. :9090 or :0 (run mode)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -86,7 +88,13 @@ func main() {
 			steps: *steps, cores: *cores, staging: *staging,
 			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
 			stagingTCP: *stagingTCP, fault: *fault,
+			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	case "report":
+		if err := runReport(*jsonlPath, *csvPath, *eventsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
@@ -97,12 +105,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report> [flags]
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
            -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
-runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)`)
+           -events FILE (structured event stream)  -metrics-addr ADDR (Prometheus)
+runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
+report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl`)
 }
 
 // runSpec executes a declarative workflow specification.
@@ -138,6 +148,58 @@ type runOpts struct {
 	csvPath, jsonlPath, plotPath string
 	stagingTCP                   bool
 	fault                        string
+	eventsPath, metricsAddr      string
+}
+
+// runReport summarizes previously written run artifacts: a step trace
+// (-jsonl or -csv) and/or a structured event log (-events).
+func runReport(jsonlPath, csvPath, eventsPath string) error {
+	if jsonlPath == "" && csvPath == "" && eventsPath == "" {
+		return fmt.Errorf("report: need -jsonl, -csv or -events")
+	}
+	summarizeSteps := func(path string, read func(*os.File) ([]crosslayer.StepRecord, error)) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		steps, err := read(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== step trace %s ==\n", path)
+		return crosslayer.SummarizeTrace(steps).WriteText(os.Stdout)
+	}
+	if jsonlPath != "" {
+		if err := summarizeSteps(jsonlPath, func(f *os.File) ([]crosslayer.StepRecord, error) {
+			return crosslayer.ReadTraceJSONL(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := summarizeSteps(csvPath, func(f *os.File) ([]crosslayer.StepRecord, error) {
+			return crosslayer.ReadTraceCSV(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if eventsPath != "" {
+		f, err := os.Open(eventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := crosslayer.ReadEvents(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== event log %s ==\n", eventsPath)
+		if err := crosslayer.SummarizeEvents(events).WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runWorkflow(o runOpts) error {
@@ -192,11 +254,36 @@ func runWorkflow(o runOpts) error {
 		return fmt.Errorf("unknown placement %q", placement)
 	}
 
+	var emitter *crosslayer.EventEmitter
+	if o.eventsPath != "" {
+		f, err := os.Create(o.eventsPath)
+		if err != nil {
+			return err
+		}
+		emitter = crosslayer.NewEventEmitter(crosslayer.NewJSONLEventSink(f))
+		cfg.Obs = emitter
+		defer func() {
+			emitter.Close()
+			fmt.Println("wrote", o.eventsPath)
+		}()
+	}
+	var reg *crosslayer.MetricsRegistry
+	if o.metricsAddr != "" {
+		reg = crosslayer.NewMetricsRegistry()
+		cfg.Metrics = reg
+		ms, err := crosslayer.ServeMetricsHTTP(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: %s\n", ms.URL())
+	}
+
 	var client *crosslayer.StagingClient
 	if o.stagingTCP || o.fault != "" {
 		var srv *crosslayer.StagingServer
 		var err error
-		client, srv, err = dialLoopbackStaging(o.fault, dom)
+		client, srv, err = dialLoopbackStaging(o.fault, dom, emitter, reg)
 		if err != nil {
 			return err
 		}
@@ -263,7 +350,7 @@ func runWorkflow(o runOpts) error {
 // fault plan when one is given — and a lazily-connecting client with a
 // tight retry budget, so a dead server degrades steps quickly instead of
 // stalling the run.
-func dialLoopbackStaging(faultStr string, dom crosslayer.Box) (*crosslayer.StagingClient, *crosslayer.StagingServer, error) {
+func dialLoopbackStaging(faultStr string, dom crosslayer.Box, em *crosslayer.EventEmitter, reg *crosslayer.MetricsRegistry) (*crosslayer.StagingClient, *crosslayer.StagingServer, error) {
 	space := crosslayer.NewStagingSpace(4, 0, dom)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -275,6 +362,8 @@ func dialLoopbackStaging(faultStr string, dom crosslayer.Box) (*crosslayer.Stagi
 		MaxRetries:  2,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  10 * time.Millisecond,
+		Events:      em,
+		Metrics:     reg,
 	}
 	if faultStr != "" {
 		plan, err := crosslayer.ParseFaultPlan(faultStr)
@@ -282,10 +371,20 @@ func dialLoopbackStaging(faultStr string, dom crosslayer.Box) (*crosslayer.Stagi
 			ln.Close()
 			return nil, nil, err
 		}
+		// The listener wrap carries no OnFault callback: server-side faults
+		// fire on server goroutines and would interleave nondeterministically
+		// into the event stream. Dial-side faults run synchronously under the
+		// workflow's op loop, so their fault_injected events are
+		// reproducible.
 		wrapped = crosslayer.FaultListen(ln, plan)
-		opts.DialFunc = plan.Dialer()
+		dialPlan := plan
+		if em != nil {
+			dialPlan.OnFault = em.FaultInjected
+		}
+		opts.DialFunc = dialPlan.Dialer()
 	}
 	srv := crosslayer.ServeStagingOn(wrapped, space)
+	srv.Observe(reg)
 	client := crosslayer.NewStagingClient(ln.Addr().String(), opts)
 	return client, srv, nil
 }

@@ -50,6 +50,7 @@ import (
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
 	"crosslayer/internal/plotfile"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
@@ -323,6 +324,59 @@ type (
 // the result constructs the ready-to-run workflow.
 func ParseSpec(r io.Reader) (*WorkflowSpec, error) { return spec.Parse(r) }
 
+// Observability: structured event streams, run metrics, and offline run
+// reports (see DESIGN.md §8).
+type (
+	// EventEmitter stamps and serializes structured runtime events
+	// (Config.Obs). A nil *EventEmitter is valid and emits nothing at
+	// zero cost, so instrumented code needs no branches.
+	EventEmitter = obs.Emitter
+	// Event is one structured runtime event.
+	Event = obs.Event
+	// EventSink receives emitted events (JSONL file, in-memory ring, …).
+	EventSink = obs.Sink
+	// EventSummary aggregates an event stream offline.
+	EventSummary = obs.EventSummary
+	// MetricsRegistry collects counters, gauges and histograms
+	// (Config.Metrics) and renders them as Prometheus text.
+	MetricsRegistry = obs.Registry
+	// MetricsServer serves a registry's /metrics endpoint over HTTP.
+	MetricsServer = obs.MetricsServer
+	// RunReport is the offline summary of a step trace.
+	RunReport = trace.RunReport
+)
+
+// NewEventEmitter wraps a sink; a nil sink yields a nil (disabled) emitter.
+func NewEventEmitter(sink EventSink) *EventEmitter { return obs.NewEmitter(sink) }
+
+// NewJSONLEventSink streams events as JSON Lines to w.
+func NewJSONLEventSink(w io.Writer) EventSink { return obs.NewJSONLSink(w) }
+
+// NewRingEventSink keeps the most recent capacity events in memory.
+func NewRingEventSink(capacity int) *obs.RingSink { return obs.NewRingSink(capacity) }
+
+// ReadEvents parses an event stream written by a JSONL sink.
+func ReadEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+
+// SummarizeEvents aggregates an event stream.
+func SummarizeEvents(events []Event) EventSummary { return obs.SummarizeEvents(events) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetricsHTTP serves reg's Prometheus text on addr (":0" picks a free
+// port) until the returned server is closed.
+func ServeMetricsHTTP(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, reg)
+}
+
+// SummarizeTrace aggregates a step trace into a run report.
+func SummarizeTrace(steps []StepRecord) RunReport { return trace.Summarize(steps) }
+
+// ParsePlacement inverts Placement.String; unknown or empty strings return
+// a *policy.UnknownPlacementError.
+func ParsePlacement(s string) (Placement, error) { return policy.ParsePlacement(s) }
+
 // Run artifacts.
 
 // WriteTraceCSV emits one CSV row per step record.
@@ -333,6 +387,9 @@ func WriteTraceJSONL(w io.Writer, steps []StepRecord) error { return trace.Write
 
 // ReadTraceJSONL parses records written by WriteTraceJSONL.
 func ReadTraceJSONL(r io.Reader) ([]StepRecord, error) { return trace.ReadJSONL(r) }
+
+// ReadTraceCSV parses records written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]StepRecord, error) { return trace.ReadCSV(r) }
 
 // WritePlotfile serializes an AMR hierarchy snapshot.
 func WritePlotfile(w io.Writer, h *Hierarchy) error { return plotfile.Write(w, h) }

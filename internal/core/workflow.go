@@ -9,6 +9,7 @@ import (
 	"crosslayer/internal/analysis"
 	"crosslayer/internal/field"
 	"crosslayer/internal/monitor"
+	"crosslayer/internal/obs"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/solver"
 	"crosslayer/internal/staging"
@@ -88,6 +89,17 @@ type Config struct {
 	// in-situ after a staging transport failure (default 2; negative
 	// disables the cooldown, so only the failing step itself degrades).
 	StagingFailureCooldown int
+
+	// Obs receives the structured runtime event stream (nil disables
+	// emission; the disabled path is allocation-free on the step hot
+	// loop). The workflow installs its virtual clock into the emitter so
+	// event timestamps are model time — seeded runs stay byte-identical.
+	Obs *obs.Emitter
+
+	// Metrics, when set, registers the workflow's run metrics: step
+	// counters, sim/analysis/transfer-seconds histograms, placement and
+	// adaptation counters, and staging-pool gauges.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -146,6 +158,14 @@ type Workflow struct {
 	stagingMemUsed int64
 	stagingMemCap  int64
 
+	events *obs.Emitter
+	met    *coreMetrics
+	span   obs.StepCtx // the in-flight step's event context
+
+	// last analyzed-step placement, for placement_change events.
+	lastPlacement  policy.Placement
+	placementKnown bool
+
 	step   int
 	result Result
 }
@@ -177,6 +197,19 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 	w.engine = NewEngine(c)
 	if !c.Enable.Resource {
 		w.pool.Resize(c.StagingCores) // static allocation keeps the full pool
+	}
+	w.events = c.Obs
+	w.met = newCoreMetrics(c.Metrics)
+	if w.events != nil {
+		// Event timestamps are the workflow's model time: the later of the
+		// two timelines' frontiers. Deterministic across seeded runs.
+		w.events.SetVirtualClock(func() float64 {
+			return math.Max(w.simTL.FreeAt(), w.pool.FreeAt())
+		})
+		w.events.RunStarted(fmt.Sprintf(
+			"objective=%s sim_cores=%d staging_cores=%d app=%t mw=%t res=%t",
+			c.Objective, c.SimCores, c.StagingCores,
+			c.Enable.Application, c.Enable.Middleware, c.Enable.Resource))
 	}
 	return w, nil
 }
@@ -268,6 +301,7 @@ func (w *Workflow) memSample(h *amr.Hierarchy) (used, avail []int64) {
 func (w *Workflow) Step() StepRecord {
 	c := &w.cfg
 	h := w.sim.Hierarchy()
+	w.span = w.events.BeginStep(w.step)
 
 	// --- 1. simulation advances (real compute), cost modeled ---
 	stats := w.sim.Step()
@@ -349,6 +383,43 @@ func (w *Workflow) Step() StepRecord {
 		} else {
 			w.result.InTransitSteps++
 		}
+		if w.span.Enabled() && w.placementKnown && rec.Placement != w.lastPlacement {
+			w.span.PlacementChange(w.lastPlacement.String(), rec.Placement.String(), rec.PlacementReason)
+		}
+		w.lastPlacement, w.placementKnown = rec.Placement, true
+	}
+	if m := w.met; m != nil {
+		m.steps.Inc()
+		m.simSeconds.Observe(simSecs)
+		m.stepSeconds.Observe(span)
+		m.bytesProduced.Add(float64(rec.BytesProduced))
+		m.stagingCores.Set(float64(rec.StagingCores))
+		m.stagingMemUsed.Set(float64(rec.StagingMemUsed))
+		if analyze {
+			m.analysisSeconds.Observe(rec.AnalysisSeconds)
+			m.bytesAnalyzed.Add(float64(rec.BytesAnalyzed))
+			if rec.Placement == policy.PlaceInSitu {
+				m.placeInSitu.Inc()
+			} else {
+				m.placeInTransit.Inc()
+			}
+			if rec.Factor > 1 {
+				m.reductions.Inc()
+			}
+			if rec.BytesMoved > 0 {
+				m.transferSeconds.Observe(rec.TransferSeconds)
+				m.bytesMovedStep.Observe(float64(rec.BytesMoved))
+				m.bytesMoved.Add(float64(rec.BytesMoved))
+			}
+		}
+	}
+	if w.span.Enabled() {
+		placement := ""
+		if analyze {
+			placement = rec.Placement.String()
+		}
+		w.span.Finished(placement, rec.Factor, simSecs,
+			rec.AnalysisSeconds, rec.TransferSeconds, rec.BytesMoved)
 	}
 	w.step++
 	return rec
@@ -359,7 +430,11 @@ func (w *Workflow) Run(steps int) Result {
 	for i := 0; i < steps; i++ {
 		w.Step()
 	}
-	return w.Result()
+	res := w.Result()
+	if w.events != nil {
+		w.events.RunFinished(res.EndToEnd)
+	}
+	return res
 }
 
 // runAnalysis performs the adaptation decisions and executes the analysis
@@ -381,27 +456,49 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 		rec.ReduceSeconds = c.Machine.ReduceTime(sample.DataCells, c.SimCores)
 		_, dataReady = w.simTL.Schedule(dataReady, rec.ReduceSeconds)
 	}
+	if w.span.Enabled() && c.Enable.Application {
+		w.span.PolicyDecision("application", "", appDecisionReason(dec), dec.Factor, 0,
+			fmt.Sprintf("raw_bytes=%d max_rank_bytes=%d min_mem_avail=%d entropy=%.4g",
+				rec.BytesProduced, sample.MaxRankDataBytes, sample.MinMemAvail(), dec.MeanEntropy))
+	}
 
 	// Resource layer: size the staging pool for this data volume.
 	if c.Enable.Resource {
+		prev := w.pool.Cores()
 		m := w.engine.AdaptResource(redBytes, w.scale(redCells), sample, w.mon)
+		if w.span.Enabled() {
+			w.span.PolicyDecision("resource", "", "", 0, m,
+				fmt.Sprintf("reduced_bytes=%d prev_cores=%d", redBytes, prev))
+		}
 		w.pool.Resize(m)
+		if m != prev {
+			w.span.ResourceResize(prev, m)
+			if w.met != nil {
+				w.met.resizes.Inc()
+			}
+		}
 	}
 
 	// Middleware layer: place the analysis.
 	transfer := c.Machine.TransferTime(redBytes, min(c.SimCores, w.pool.Cores())) * c.LinkDegrade
+	stagingRemaining := w.pool.RemainingAt(dataReady)
 	placement, reason := w.engine.AdaptMiddleware(PlacementState{
 		ReducedBytes:     redBytes,
 		ReducedCells:     w.scale(redCells),
 		Sample:           sample,
 		StagingCores:     w.pool.Cores(),
-		StagingRemaining: w.pool.RemainingAt(dataReady),
+		StagingRemaining: stagingRemaining,
 		TransferSeconds:  transfer,
 		StagingMemUsed:   w.stagingMemUsed,
 		StagingMemCap:    w.stagingMemCap,
 	})
 	rec.Placement = placement
 	rec.PlacementReason = reason
+	if w.span.Enabled() && c.Enable.Middleware {
+		w.span.PolicyDecision("middleware", placement.String(), reason, 0, 0,
+			fmt.Sprintf("reduced_bytes=%d transfer_s=%.4g staging_remaining_s=%.4g staging_mem=%d/%d",
+				redBytes, transfer, stagingRemaining, w.stagingMemUsed, w.stagingMemCap))
+	}
 
 	// Hybrid placement: when enabled and both sides could host the work,
 	// split the blocks so staging gets exactly what it can absorb before
@@ -440,6 +537,19 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 	}
 }
 
+// appDecisionReason names what the application layer did for the event
+// stream. Only called on the enabled (allocating) emission path.
+func appDecisionReason(dec AppDecision) string {
+	switch {
+	case dec.Degraded:
+		return "degraded: no hinted factor fit"
+	case dec.Applied:
+		return "reduction applied"
+	default:
+		return "no reduction"
+	}
+}
+
 // degradeToInSitu is the graceful fallback when the staging transport
 // exhausts its retry budget mid-step: the blocks are still resident on the
 // simulation side, so the analysis runs there instead of hanging or
@@ -450,6 +560,10 @@ func (w *Workflow) degradeToInSitu(rec *StepRecord, blocks []*field.BoxData, sam
 	rec.Placement = policy.PlaceInSitu
 	rec.PlacementReason = policy.ReasonStagingFailure
 	rec.HybridFrac = 1
+	w.span.StagingDegrade(policy.ReasonStagingFailure, rec.StagingRetries)
+	if w.met != nil {
+		w.met.degrades.Inc()
+	}
 	w.runInSitu(rec, blocks, sample, dataReady)
 }
 

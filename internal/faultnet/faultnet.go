@@ -61,6 +61,15 @@ type Plan struct {
 	// CorruptRate is the per-Write probability of flipping one byte of the
 	// buffer before it is sent (0 = disabled).
 	CorruptRate float64
+
+	// OnFault, when set, is invoked synchronously every time a discrete
+	// fault fires — kind is "refuse", "drop", "truncate" or "corrupt" —
+	// with a human-readable detail. It is the observability hook the event
+	// stream attaches to. Latency is continuous rather than discrete and
+	// does not report. The callback runs on whichever goroutine drove the
+	// faulted I/O, so it must be safe for concurrent use; it is ignored by
+	// String/ParsePlan and the zero-plan check.
+	OnFault func(kind, detail string)
 }
 
 // IsZero reports whether the plan injects no faults at all.
@@ -191,6 +200,9 @@ func (l *Listener) Accept() (net.Conn, error) {
 		l.mu.Unlock()
 		if refuse {
 			conn.Close()
+			if l.plan.OnFault != nil {
+				l.plan.OnFault("refuse", fmt.Sprintf("accept #%d refused", n))
+			}
 			continue
 		}
 		return Wrap(conn, l.plan, connSeed), nil
@@ -248,12 +260,16 @@ func Wrap(conn net.Conn, plan Plan, seed int64) *Conn {
 	return &Conn{Conn: conn, plan: plan, rng: rand.New(rand.NewSource(seed))}
 }
 
-// sever closes the connection and makes every later operation fail.
-func (c *Conn) sever(reason string) error {
+// sever closes the connection and makes every later operation fail; the
+// plan's OnFault hook fires once, on the transition.
+func (c *Conn) sever(kind, reason string) error {
 	if !c.severed {
 		c.severed = true
 		c.severErr = fmt.Errorf("faultnet: connection severed (%s)", reason)
 		c.Conn.Close()
+		if c.plan.OnFault != nil {
+			c.plan.OnFault(kind, reason)
+		}
 	}
 	return c.severErr
 }
@@ -289,7 +305,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 		return 0, err
 	}
 	if allowed == 0 && len(b) > 0 {
-		err := c.sever("byte budget exhausted")
+		err := c.sever("drop", "byte budget exhausted")
 		c.mu.Unlock()
 		return 0, err
 	}
@@ -302,7 +318,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 	c.moved += int64(n)
 	if err == nil && c.plan.DropAfterBytes > 0 && c.moved >= c.plan.DropAfterBytes {
 		// Deliver what arrived under the budget; the next operation fails.
-		c.sever("byte budget exhausted")
+		c.sever("drop", "byte budget exhausted")
 	}
 	return n, err
 }
@@ -319,7 +335,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		return 0, err
 	}
 	if allowed == 0 && len(b) > 0 {
-		err := c.sever("byte budget exhausted")
+		err := c.sever("drop", "byte budget exhausted")
 		c.mu.Unlock()
 		return 0, err
 	}
@@ -332,8 +348,12 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if c.plan.CorruptRate > 0 && c.rng.Float64() < c.plan.CorruptRate && len(buf) > 0 {
 		// Flip one byte in a copy; the caller's buffer stays intact.
 		cp := append([]byte(nil), buf...)
-		cp[c.rng.Intn(len(cp))] ^= 0xff
+		i := c.rng.Intn(len(cp))
+		cp[i] ^= 0xff
 		buf = cp
+		if c.plan.OnFault != nil {
+			c.plan.OnFault("corrupt", fmt.Sprintf("flipped byte %d of a %d-byte write", i, len(cp)))
+		}
 	}
 	c.mu.Unlock()
 
@@ -346,10 +366,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 		return n, err
 	}
 	if truncate {
-		return n, c.sever("write truncated")
+		return n, c.sever("truncate", "write truncated")
 	}
 	if c.plan.DropAfterBytes > 0 && c.moved >= c.plan.DropAfterBytes {
-		return n, c.sever("byte budget exhausted")
+		return n, c.sever("drop", "byte budget exhausted")
 	}
 	if n < len(b) {
 		// The fault layer shortened the write without severing; report the

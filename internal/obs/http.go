@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MetricsServer serves a Registry's Prometheus text exposition over HTTP —
+// the live /metrics surface of a running workflow (-metrics-addr).
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ServeMetrics listens on addr (":0" picks a free port) and serves the
+// registry at /metrics (and /, for convenience). It returns once the
+// listener is bound; scraping runs in the background until Close.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	s := &MetricsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the scrape URL.
+func (s *MetricsServer) URL() string { return "http://" + s.Addr() + "/metrics" }
+
+// Close stops the server and releases the port.
+func (s *MetricsServer) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}

@@ -1,0 +1,418 @@
+// Package obs is the observability subsystem of the autonomic loop: a
+// structured event stream, a lock-cheap metrics registry with Prometheus
+// text exposition, and aggregation helpers for offline run reports.
+//
+// The runtime layers (core workflow, policy engine, staging transport,
+// fault injection) emit typed, timestamped events through an Emitter into a
+// pluggable Sink — a JSONL file for offline analysis, an in-memory ring for
+// tests, or nothing at all. A nil *Emitter is the disabled state and every
+// emission method is a nil-safe no-op, so the workflow's step hot path pays
+// zero allocations when observability is off (benchmark-enforced).
+//
+// Event timestamps are deliberately *virtual*: the emitter carries a clock
+// callback into the workflow's modeled timelines, so a seeded run emits a
+// byte-identical event stream run after run — the determinism contract of
+// the fault-injection harness extends to observability. Wall-clock stamps
+// are opt-in (WithWallClock) and excluded from that contract.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind names one event type in the stream.
+type Kind string
+
+// Event kinds. The taxonomy follows the Monitor → Adaptation Engine →
+// Policy loop: run/step lifecycle, per-layer policy decisions, the executed
+// adaptations, and staging-transport health.
+const (
+	// KindRunStarted opens a run's event stream.
+	KindRunStarted Kind = "run_started"
+	// KindRunFinished closes a run's event stream.
+	KindRunFinished Kind = "run_finished"
+	// KindStepStarted marks the beginning of one workflow step.
+	KindStepStarted Kind = "step_started"
+	// KindStepFinished carries the step's outcome: placement, factor, and
+	// the modeled seconds/bytes booked.
+	KindStepFinished Kind = "step_finished"
+	// KindPolicyDecision records one layer's policy evaluation — the inputs
+	// it saw (Detail) and the output it chose (Placement/Factor/Cores).
+	KindPolicyDecision Kind = "policy_decision"
+	// KindPlacementChange marks an analysis-placement flip between steps,
+	// with the deciding reason.
+	KindPlacementChange Kind = "placement_change"
+	// KindResourceResize marks a staging-pool resize by the resource layer.
+	KindResourceResize Kind = "resource_resize"
+	// KindStagingRetry is one retry attempt of a staging transport
+	// operation.
+	KindStagingRetry Kind = "staging_retry"
+	// KindStagingReconnect is a successful re-dial after a transport
+	// failure.
+	KindStagingReconnect Kind = "staging_reconnect"
+	// KindStagingDegrade marks a step that fell back to in-situ execution
+	// after the transport exhausted its retry budget.
+	KindStagingDegrade Kind = "staging_degrade"
+	// KindFaultInjected records a fault-injection firing (refuse, drop,
+	// truncate, corrupt).
+	KindFaultInjected Kind = "fault_injected"
+)
+
+// StepUnset marks an event emitted outside any step span; the emitter
+// substitutes the current span's step, if one is open.
+const StepUnset = -1
+
+// Event is one structured record in the stream. Kind determines which of
+// the payload fields are meaningful; unused ones are omitted from JSON.
+type Event struct {
+	// Seq is the emission ordinal within the stream (starts at 1).
+	Seq uint64 `json:"seq"`
+	// T is the virtual model time (seconds) at emission.
+	T float64 `json:"t"`
+	// Wall is the wall-clock stamp, present only with WithWallClock.
+	Wall string `json:"wall,omitempty"`
+
+	Kind Kind `json:"kind"`
+	// Step is the workflow step the event belongs to (-1 = outside a step).
+	Step int `json:"step"`
+	// Layer is the adaptation layer for policy events
+	// (application/middleware/resource).
+	Layer string `json:"layer,omitempty"`
+
+	Placement string  `json:"placement,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	Factor    int     `json:"factor,omitempty"`
+	Cores     int     `json:"cores,omitempty"`
+	PrevCores int     `json:"prev_cores,omitempty"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+	Attempt   int     `json:"attempt,omitempty"`
+	// Detail carries free-form context: a policy's inputs, a fault's
+	// description, a transport error.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink receives emitted events. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Emit(ev Event)
+	Close() error
+}
+
+// JSONLSink writes one JSON object per line through a buffered writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer // closed by Close when the underlying writer is a Closer
+	err error
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer (e.g. *os.File) it is closed
+// by the sink's Close after the buffer is flushed.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit encodes ev as one JSONL line. The first encoding error sticks and is
+// reported by Close.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(&ev)
+}
+
+// Close flushes the buffer (and closes the underlying writer when it is a
+// Closer), returning the first error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// RingSink retains the last N events in memory — the test and debugging
+// sink.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRingSink retains the most recent cap events (cap <= 0 panics).
+func NewRingSink(cap int) *RingSink {
+	if cap <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &RingSink{buf: make([]Event, 0, cap)}
+}
+
+// Emit appends ev, evicting the oldest event when full.
+func (s *RingSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+		return
+	}
+	s.buf[s.next] = ev
+	s.next = (s.next + 1) % cap(s.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Total reports how many events were ever emitted (evicted ones included).
+func (s *RingSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Close is a no-op.
+func (s *RingSink) Close() error { return nil }
+
+// Emitter stamps and forwards events to its sink. A nil *Emitter is the
+// disabled state: every method no-ops without allocating, which keeps the
+// workflow's hot loop unaffected when observability is off.
+//
+// The emitter serializes emission internally; the step span (BeginStep) is
+// single-writer state owned by the workflow goroutine.
+type Emitter struct {
+	mu    sync.Mutex
+	sink  Sink
+	seq   uint64
+	clock func() float64 // virtual model time; nil = 0
+	wall  func() time.Time
+	step  int // current step span (StepUnset outside one)
+}
+
+// NewEmitter builds an emitter over sink (nil sink yields a nil emitter, so
+// the result can be used unconditionally).
+func NewEmitter(sink Sink) *Emitter {
+	if sink == nil {
+		return nil
+	}
+	return &Emitter{sink: sink, step: StepUnset}
+}
+
+// WithWallClock stamps every event with now()'s RFC3339Nano rendering.
+// Wall stamps make the stream non-reproducible across runs; leave them off
+// when byte-identical event logs matter.
+func (e *Emitter) WithWallClock(now func() time.Time) *Emitter {
+	if e == nil {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	e.wall = now
+	return e
+}
+
+// SetVirtualClock installs the model-time source for event stamps — the
+// workflow points this at its virtual timelines. Must be set before
+// emission starts.
+func (e *Emitter) SetVirtualClock(clock func() float64) {
+	if e == nil {
+		return
+	}
+	e.clock = clock
+}
+
+// Close closes the sink.
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	return e.sink.Close()
+}
+
+// Emit stamps ev (Seq, T, Wall, and the current step when ev.Step is
+// StepUnset) and forwards it to the sink.
+func (e *Emitter) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.seq++
+	ev.Seq = e.seq
+	if e.clock != nil {
+		ev.T = e.clock()
+	}
+	if e.wall != nil {
+		ev.Wall = e.wall().UTC().Format(time.RFC3339Nano)
+	}
+	if ev.Step == StepUnset {
+		ev.Step = e.step
+	}
+	sink := e.sink
+	e.mu.Unlock()
+	sink.Emit(ev)
+}
+
+// RunStarted opens the stream with a run-level banner event.
+func (e *Emitter) RunStarted(detail string) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindRunStarted, Step: StepUnset, Detail: detail})
+}
+
+// RunFinished closes the stream with the run's end-to-end seconds.
+func (e *Emitter) RunFinished(endToEnd float64) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindRunFinished, Step: StepUnset, Seconds: endToEnd})
+}
+
+// StagingRetry records one transport retry attempt (emitted by the staging
+// client mid-operation; the step comes from the open span).
+func (e *Emitter) StagingRetry(attempt int, lastErr string) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindStagingRetry, Step: StepUnset, Attempt: attempt, Detail: lastErr})
+}
+
+// StagingReconnect records a successful re-dial after a transport failure.
+func (e *Emitter) StagingReconnect() {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindStagingReconnect, Step: StepUnset})
+}
+
+// FaultInjected records a fault-injection firing.
+func (e *Emitter) FaultInjected(fault, detail string) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindFaultInjected, Step: StepUnset, Reason: fault, Detail: detail})
+}
+
+// BeginStep opens a step span: a step_started event is emitted and every
+// span-less event until the next BeginStep carries this step. The returned
+// StepCtx is a value (no allocation) whose methods are nil-safe, so callers
+// hold and use it unconditionally.
+func (e *Emitter) BeginStep(step int) StepCtx {
+	if e == nil {
+		return StepCtx{}
+	}
+	e.mu.Lock()
+	e.step = step
+	e.mu.Unlock()
+	e.Emit(Event{Kind: KindStepStarted, Step: step})
+	return StepCtx{e: e, step: step}
+}
+
+// StepCtx is the span-like context of one workflow step: every event
+// emitted through it carries the step number. The zero value (disabled
+// emitter) no-ops.
+type StepCtx struct {
+	e    *Emitter
+	step int
+}
+
+// Enabled reports whether events emitted through this span go anywhere.
+func (s StepCtx) Enabled() bool { return s.e != nil }
+
+// PolicyDecision records one layer's decision: the chosen output
+// (placement, factor or cores — pass the zero value for the others) plus a
+// Detail string carrying the inputs the policy evaluated.
+func (s StepCtx) PolicyDecision(layer, placement, reason string, factor, cores int, inputs string) {
+	if s.e == nil {
+		return
+	}
+	s.e.Emit(Event{
+		Kind: KindPolicyDecision, Step: s.step, Layer: layer,
+		Placement: placement, Reason: reason, Factor: factor, Cores: cores,
+		Detail: inputs,
+	})
+}
+
+// PlacementChange records an analysis-placement flip between steps.
+func (s StepCtx) PlacementChange(from, to, reason string) {
+	if s.e == nil {
+		return
+	}
+	s.e.Emit(Event{
+		Kind: KindPlacementChange, Step: s.step,
+		Placement: to, Reason: reason, Detail: "from " + from,
+	})
+}
+
+// ResourceResize records a staging-pool resize.
+func (s StepCtx) ResourceResize(prev, cores int) {
+	if s.e == nil {
+		return
+	}
+	s.e.Emit(Event{Kind: KindResourceResize, Step: s.step, PrevCores: prev, Cores: cores})
+}
+
+// StagingDegrade records this step's fallback to in-situ execution after
+// the staging transport exhausted its retry budget.
+func (s StepCtx) StagingDegrade(reason string, retries int) {
+	if s.e == nil {
+		return
+	}
+	s.e.Emit(Event{Kind: KindStagingDegrade, Step: s.step, Reason: reason, Attempt: retries})
+}
+
+// Finished closes the span with the step's outcome.
+func (s StepCtx) Finished(placement string, factor int, simSec, anaSec, xferSec float64, bytesMoved int64) {
+	if s.e == nil {
+		return
+	}
+	s.e.Emit(Event{
+		Kind: KindStepFinished, Step: s.step,
+		Placement: placement, Factor: factor,
+		Seconds: simSec + anaSec + xferSec, Bytes: bytesMoved,
+		Detail: fmt.Sprintf("sim=%.6gs analysis=%.6gs transfer=%.6gs", simSec, anaSec, xferSec),
+	})
+}
+
+// ReadEvents parses a JSONL event stream written by JSONLSink.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("obs: event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

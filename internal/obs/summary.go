@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventSummary aggregates an event log into the counts a human wants first
+// when triaging a run: what fired, how often, and why.
+type EventSummary struct {
+	Events int
+	Steps  int
+
+	// ByKind counts events per kind.
+	ByKind map[Kind]int
+	// PlacementChanges counts placement flips by reason.
+	PlacementChanges map[string]int
+	// Decisions counts policy decisions by layer.
+	Decisions map[string]int
+	// Faults counts fault-injection firings by fault kind.
+	Faults map[string]int
+
+	Retries    int
+	Reconnects int
+	Degrades   int
+	Resizes    int
+
+	// EndToEnd is the run_finished event's seconds (0 when absent).
+	EndToEnd float64
+}
+
+// SummarizeEvents aggregates evs.
+func SummarizeEvents(evs []Event) EventSummary {
+	s := EventSummary{
+		ByKind:           make(map[Kind]int),
+		PlacementChanges: make(map[string]int),
+		Decisions:        make(map[string]int),
+		Faults:           make(map[string]int),
+	}
+	maxStep := -1
+	for _, ev := range evs {
+		s.Events++
+		s.ByKind[ev.Kind]++
+		if ev.Step > maxStep {
+			maxStep = ev.Step
+		}
+		switch ev.Kind {
+		case KindPlacementChange:
+			s.PlacementChanges[ev.Reason]++
+		case KindPolicyDecision:
+			s.Decisions[ev.Layer]++
+		case KindFaultInjected:
+			s.Faults[ev.Reason]++
+		case KindStagingRetry:
+			s.Retries++
+		case KindStagingReconnect:
+			s.Reconnects++
+		case KindStagingDegrade:
+			s.Degrades++
+		case KindResourceResize:
+			s.Resizes++
+		case KindRunFinished:
+			s.EndToEnd = ev.Seconds
+		}
+	}
+	s.Steps = maxStep + 1
+	return s
+}
+
+// WriteText renders the summary for terminals.
+func (s EventSummary) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "event log: %d events across %d steps\n", s.Events, s.Steps)
+	if len(s.ByKind) > 0 {
+		fmt.Fprintln(w, "events by kind:")
+		for _, k := range sortedKinds(s.ByKind) {
+			fmt.Fprintf(w, "  %-18s %d\n", string(k), s.ByKind[k])
+		}
+	}
+	if len(s.Decisions) > 0 {
+		fmt.Fprintln(w, "policy decisions by layer:")
+		for _, k := range sortedKeys(s.Decisions) {
+			fmt.Fprintf(w, "  %-12s %d\n", k, s.Decisions[k])
+		}
+	}
+	if len(s.PlacementChanges) > 0 {
+		fmt.Fprintln(w, "placement changes by reason:")
+		for _, k := range sortedKeys(s.PlacementChanges) {
+			fmt.Fprintf(w, "  %-44s %d\n", k, s.PlacementChanges[k])
+		}
+	}
+	if s.Retries+s.Reconnects+s.Degrades > 0 {
+		fmt.Fprintf(w, "staging transport: %d retries, %d reconnects, %d degraded steps\n",
+			s.Retries, s.Reconnects, s.Degrades)
+	}
+	if len(s.Faults) > 0 {
+		fmt.Fprintln(w, "faults injected:")
+		for _, k := range sortedKeys(s.Faults) {
+			fmt.Fprintf(w, "  %-12s %d\n", k, s.Faults[k])
+		}
+	}
+	if s.Resizes > 0 {
+		fmt.Fprintf(w, "staging pool resizes: %d\n", s.Resizes)
+	}
+	if s.EndToEnd > 0 {
+		fmt.Fprintf(w, "end-to-end (virtual): %.3fs\n", s.EndToEnd)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKinds(m map[Kind]int) []Kind {
+	out := make([]Kind, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

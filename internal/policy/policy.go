@@ -154,6 +154,31 @@ func (p Placement) String() string {
 	return "in-transit"
 }
 
+// UnknownPlacementError reports a placement string that names neither
+// placement — a corrupted or foreign trace. It used to be swallowed as
+// in-situ, silently mislabeling every record of a damaged file.
+type UnknownPlacementError struct {
+	Value string
+}
+
+func (e *UnknownPlacementError) Error() string {
+	return fmt.Sprintf("policy: unknown placement %q (want %q or %q)",
+		e.Value, PlaceInSitu, PlaceInTransit)
+}
+
+// ParsePlacement is the inverse of Placement.String. Unknown (including
+// empty) values return an *UnknownPlacementError instead of defaulting,
+// so trace readers surface corruption rather than mislabel it.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case PlaceInSitu.String():
+		return PlaceInSitu, nil
+	case PlaceInTransit.String():
+		return PlaceInTransit, nil
+	}
+	return PlaceInSitu, &UnknownPlacementError{Value: s}
+}
+
 // PlacementInput is the operational state the middleware policy consumes.
 type PlacementInput struct {
 	InSituSeconds     float64 // T_i_insitu(N, S_i_data) estimate

@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"time"
 
 	"crosslayer/internal/amr"
 	"crosslayer/internal/core"
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
 	"crosslayer/internal/solver"
@@ -79,6 +81,18 @@ type Workflow struct {
 	// StagingFailureCooldown is how many extra steps placement stays
 	// in-situ after a staging failure (default 2, -1 disables).
 	StagingFailureCooldown int `json:"staging_failure_cooldown"`
+
+	// Events, when set, streams structured runtime events (policy
+	// decisions, placement changes, staging retries, injected faults, …)
+	// as JSON Lines to this file. Timestamps are model time, so a seeded
+	// run reproduces the stream byte for byte.
+	Events string `json:"events"`
+	// MetricsAddr, when set, serves Prometheus text metrics on this
+	// address (host:port; ":0" picks a free port — see BoundMetricsAddr)
+	// for the duration of the run.
+	MetricsAddr string `json:"metrics_addr"`
+
+	metricsBound string // actual listen address once Build has bound it
 }
 
 // BandSpec is one entropy band in JSON form.
@@ -251,9 +265,36 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 	cfg.StagingFailureCooldown = w.StagingFailureCooldown
 
 	var closers []io.Closer
-	if w.StagingTCP {
-		client, srv, err := w.buildStagingTCP(amrCfg.Domain)
+	var emitter *obs.Emitter
+	if w.Events != "" {
+		f, err := os.Create(w.Events)
 		if err != nil {
+			return nil, nil, fmt.Errorf("spec: events: %w", err)
+		}
+		emitter = obs.NewEmitter(obs.NewJSONLSink(f))
+		cfg.Obs = emitter
+		closers = append(closers, emitter)
+	}
+	var reg *obs.Registry
+	if w.MetricsAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		ms, err := obs.ServeMetrics(w.MetricsAddr, reg)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, fmt.Errorf("spec: metrics: %w", err)
+		}
+		w.metricsBound = ms.Addr()
+		closers = append(closers, ms)
+	}
+	if w.StagingTCP {
+		client, srv, err := w.buildStagingTCP(amrCfg.Domain, emitter, reg)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
 			return nil, nil, err
 		}
 		cfg.Staging = client
@@ -276,7 +317,7 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 // buildStagingTCP stands up a loopback staging server (optionally behind the
 // spec's fault plan) and dials a resilient client with a tight retry budget,
 // so a dead server degrades steps instead of stalling the run for minutes.
-func (w *Workflow) buildStagingTCP(domain grid.Box) (*staging.Client, *staging.Server, error) {
+func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, reg *obs.Registry) (*staging.Client, *staging.Server, error) {
 	space := staging.NewSpace(4, 0, domain)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -286,19 +327,31 @@ func (w *Workflow) buildStagingTCP(domain grid.Box) (*staging.Client, *staging.S
 	var plan faultnet.Plan
 	if w.Fault != nil {
 		plan = w.Fault.Plan()
+		// The server-side wrap carries no OnFault callback: listener faults
+		// fire on server goroutines, and interleaving them into the event
+		// stream would break its run-to-run byte stability.
 		wrapped = faultnet.Listen(ln, plan)
 	}
 	srv := staging.ServeOn(wrapped, space)
+	srv.Observe(reg)
 	opts := staging.ClientOptions{
 		OpTimeout:   2 * time.Second,
 		MaxRetries:  2,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  10 * time.Millisecond,
+		Events:      em,
+		Metrics:     reg,
 	}
 	if w.Fault != nil {
 		// Dial through the same fault plan so client-side connection faults
-		// (e.g. drop-after budgets) also apply to reconnect attempts.
-		opts.DialFunc = plan.Dialer()
+		// (e.g. drop-after budgets) also apply to reconnect attempts. Dial-side
+		// faults happen synchronously under the workflow's op loop, so the
+		// fault_injected events they emit are deterministic.
+		dialPlan := plan
+		if em != nil {
+			dialPlan.OnFault = em.FaultInjected
+		}
+		opts.DialFunc = dialPlan.Dialer()
 	}
 	client, err := staging.DialOptions(ln.Addr().String(), opts)
 	if err != nil {
@@ -309,6 +362,10 @@ func (w *Workflow) buildStagingTCP(domain grid.Box) (*staging.Client, *staging.S
 	}
 	return client, srv, nil
 }
+
+// BoundMetricsAddr returns the actual metrics listen address after Build
+// (useful when metrics_addr was ":0"), or "" when metrics are off.
+func (w *Workflow) BoundMetricsAddr() string { return w.metricsBound }
 
 // StepsOrDefault returns the configured step count (default 20).
 func (w *Workflow) StepsOrDefault() int {

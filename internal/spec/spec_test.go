@@ -1,9 +1,15 @@
 package spec
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"crosslayer/internal/obs"
 	"crosslayer/internal/policy"
 )
 
@@ -202,5 +208,67 @@ func TestFaultSpecValidation(t *testing.T) {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
 			t.Errorf("bad fault spec %d accepted", i)
 		}
+	}
+}
+
+// TestSpecObservability: the events/metrics_addr fields must produce a
+// live /metrics endpoint during the run and a summarizable event log.
+func TestSpecObservability(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	w, err := Parse(strings.NewReader(fmt.Sprintf(`{
+		"application": "polytropic-gas",
+		"domain": [16, 16, 16],
+		"adapt": ["application", "middleware", "resource"],
+		"staging_tcp": true,
+		"events": %q,
+		"metrics_addr": "127.0.0.1:0",
+		"steps": 3
+	}`, eventsPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.BoundMetricsAddr()
+	if addr == "" {
+		t.Fatal("metrics_addr did not bind")
+	}
+	wf.Run(3)
+
+	// Scrape while the run's resources are still alive.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"xlayer_steps_total 3", "xlayer_staging_server_requests_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	if err := wf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the endpoint is down and the event log is flushed.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("metrics endpoint still up after Close")
+	}
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.SummarizeEvents(events)
+	if sum.Steps != 3 || sum.ByKind[obs.KindPolicyDecision] == 0 {
+		t.Fatalf("event log incomplete: %+v", sum)
 	}
 }

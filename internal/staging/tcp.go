@@ -7,12 +7,16 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
 )
 
 // TCP transport for the staging space: a Server exposes a Space over a
@@ -70,9 +74,78 @@ type Server struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 
+	metrics atomic.Pointer[serverMetrics]
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+}
+
+// serverMetrics is the server's instrument set (see Observe).
+type serverMetrics struct {
+	reqPut, reqGet, reqDrop, reqStat, reqOther *obs.Counter
+	bytesIn, bytesOut                          *obs.Counter
+	activeConns                                *obs.Gauge
+}
+
+// count tallies one decoded request by op.
+func (m *serverMetrics) count(op byte) {
+	switch op {
+	case opPut:
+		m.reqPut.Inc()
+	case opGet:
+		m.reqGet.Inc()
+	case opDrop:
+		m.reqDrop.Inc()
+	case opStat:
+		m.reqStat.Inc()
+	default:
+		m.reqOther.Inc()
+	}
+}
+
+// Observe registers the server's transport metrics in reg: requests served
+// by op, raw bytes in/out, and the active-connection gauge. Call it right
+// after construction, before clients connect; connections accepted earlier
+// are not counted. A nil registry is ignored.
+func (s *Server) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	const reqName = "xlayer_staging_server_requests_total"
+	const reqHelp = "Requests served by the staging server, by operation."
+	m := &serverMetrics{
+		reqPut:   reg.Counter(reqName, reqHelp, "op", "put"),
+		reqGet:   reg.Counter(reqName, reqHelp, "op", "get"),
+		reqDrop:  reg.Counter(reqName, reqHelp, "op", "drop"),
+		reqStat:  reg.Counter(reqName, reqHelp, "op", "stat"),
+		reqOther: reg.Counter(reqName, reqHelp, "op", "other"),
+		bytesIn: reg.Counter("xlayer_staging_server_bytes_in_total",
+			"Raw bytes read from staging clients."),
+		bytesOut: reg.Counter("xlayer_staging_server_bytes_out_total",
+			"Raw bytes written to staging clients."),
+		activeConns: reg.Gauge("xlayer_staging_server_active_conns",
+			"Client connections currently being served."),
+	}
+	s.metrics.Store(m)
+}
+
+// countingConn tallies raw connection traffic into the server's counters.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.in.Add(float64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.out.Add(float64(n))
+	return n, err
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by space.
@@ -155,7 +228,13 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
-			s.handle(conn)
+			served := conn
+			if m := s.metrics.Load(); m != nil {
+				m.activeConns.Add(1)
+				defer m.activeConns.Add(-1)
+				served = &countingConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
+			}
+			s.handle(served)
 		}()
 	}
 }
@@ -180,6 +259,9 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 		return err
 	}
 	op := hdr[0]
+	if m := s.metrics.Load(); m != nil {
+		m.count(op)
+	}
 	varLen := binary.LittleEndian.Uint16(hdr[1:])
 	if varLen > 256 {
 		return fmt.Errorf("%w: variable name too long", ErrProtocol)
@@ -289,6 +371,16 @@ type ClientOptions struct {
 	// DialFunc replaces the transport dial — fault-injection harnesses use
 	// it to interpose a faultnet wrapper (default net.DialTimeout over tcp).
 	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// Events, when set, receives a structured event per transport retry and
+	// reconnect. Client operations run synchronously on the caller's
+	// goroutine, so with a deterministic fault plan the emitted sequence is
+	// reproducible.
+	Events *obs.Emitter
+
+	// Metrics, when set, registers the client's cumulative retry/reconnect
+	// counters (xlayer_staging_client_*) in this registry.
+	Metrics *obs.Registry
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -328,6 +420,11 @@ type Client struct {
 	seq        atomic.Int64 // last logical-put sequence number issued
 	seqBase    int64        // this client's slice of the process seq space
 
+	// Registry-backed mirrors of retries/reconnects (live but unregistered
+	// instruments when ClientOptions.Metrics is nil, so no branching).
+	mRetries    *obs.Counter
+	mReconnects *obs.Counter
+
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
@@ -354,7 +451,18 @@ func Dial(addr string) (*Client, error) {
 // unreachable at construction time (fault-injection runs) and failures
 // should surface as ErrStagingUnavailable per operation instead.
 func NewClient(addr string, opts ClientOptions) *Client {
-	return &Client{addr: addr, opts: opts.withDefaults(), seqBase: newSeqBase()}
+	c := &Client{addr: addr, opts: opts.withDefaults(), seqBase: newSeqBase()}
+	c.initMetrics()
+	return c
+}
+
+// initMetrics binds the client's transport counters. With no registry the
+// instruments are live but unregistered, so update sites never branch.
+func (c *Client) initMetrics() {
+	c.mRetries = c.opts.Metrics.Counter("xlayer_staging_client_retries_total",
+		"Transport retry attempts across all staging operations.")
+	c.mReconnects = c.opts.Metrics.Counter("xlayer_staging_client_reconnects_total",
+		"Successful staging re-dials after a transport failure.")
 }
 
 // DialOptions connects to a staging server with explicit options. The
@@ -363,6 +471,7 @@ func NewClient(addr string, opts ClientOptions) *Client {
 // configuration error, not a transient fault.
 func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	c := &Client{addr: addr, opts: opts.withDefaults(), seqBase: newSeqBase()}
+	c.initMetrics()
 	conn, err := c.opts.DialFunc(addr, c.opts.OpTimeout)
 	if err != nil {
 		return nil, err
@@ -409,6 +518,34 @@ func (c *Client) TransportStats() (retries, reconnects int64) {
 	return c.retries.Load(), c.reconnects.Load()
 }
 
+// errDetail reduces a transport error to a stable, address-free label for
+// the event stream: raw net errors embed ephemeral ports, which would stop
+// seeded fault runs from reproducing their event log byte for byte.
+func errDetail(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return "op timeout"
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "connection refused"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "connection reset"
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed):
+		return "connection closed"
+	}
+	// Injected faults describe themselves deterministically.
+	if s := err.Error(); strings.Contains(s, "faultnet: ") {
+		return s[strings.Index(s, "faultnet: "):]
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return oe.Op + " failed"
+	}
+	return "transport error"
+}
+
 // do runs op under the retry policy: each attempt gets a fresh per-op
 // deadline; any transport or protocol error drops the connection, backs
 // off, re-dials and replays. Application-level results (nil, ErrNotFound,
@@ -424,6 +561,10 @@ func (c *Client) do(op func() error) error {
 		}
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.mRetries.Inc()
+			if c.opts.Events != nil {
+				c.opts.Events.StagingRetry(attempt, errDetail(lastErr))
+			}
 			backoff := c.opts.BackoffMax
 			if shift := attempt - 1; shift < 20 {
 				if b := c.opts.BackoffBase << shift; b < backoff {
@@ -440,6 +581,8 @@ func (c *Client) do(op func() error) error {
 			}
 			c.attach(conn)
 			c.reconnects.Add(1)
+			c.mReconnects.Inc()
+			c.opts.Events.StagingReconnect()
 		}
 		c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
 		err := op()

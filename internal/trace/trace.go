@@ -126,10 +126,98 @@ func ReadJSONL(r io.Reader) ([]core.StepRecord, error) {
 			SimClock: js.SimClock, StagingClock: js.StagingClock,
 			FinestLevel: js.FinestLevel,
 		}
-		if js.Placement == policy.PlaceInTransit.String() {
-			rec.Placement = policy.PlaceInTransit
+		p, err := policy.ParsePlacement(js.Placement)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
 		}
+		rec.Placement = p
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// ReadCSV parses records written by WriteCSV. Columns are matched by
+// header name, so column order does not matter; every column of csvHeader
+// must be present.
+func ReadCSV(r io.Reader) ([]core.StepRecord, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, name := range csvHeader {
+		if _, ok := col[name]; !ok {
+			return nil, fmt.Errorf("trace: CSV missing column %q", name)
+		}
+	}
+
+	var out []core.StepRecord
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		var rec core.StepRecord
+		var perr error
+		get := func(name string) string { return row[col[name]] }
+		atoi := func(name string) int {
+			v, err := strconv.Atoi(get(name))
+			if err != nil && perr == nil {
+				perr = fmt.Errorf("trace: row %d, column %s: %w", len(out)+1, name, err)
+			}
+			return v
+		}
+		ai64 := func(name string) int64 {
+			v, err := strconv.ParseInt(get(name), 10, 64)
+			if err != nil && perr == nil {
+				perr = fmt.Errorf("trace: row %d, column %s: %w", len(out)+1, name, err)
+			}
+			return v
+		}
+		af := func(name string) float64 {
+			v, err := strconv.ParseFloat(get(name), 64)
+			if err != nil && perr == nil {
+				perr = fmt.Errorf("trace: row %d, column %s: %w", len(out)+1, name, err)
+			}
+			return v
+		}
+		rec.Step = atoi("step")
+		rec.Factor = atoi("factor")
+		rec.PlacementReason = get("placement_reason")
+		rec.SimSeconds = af("sim_seconds")
+		rec.ReduceSeconds = af("reduce_seconds")
+		rec.AnalysisSeconds = af("analysis_seconds")
+		rec.TransferSeconds = af("transfer_seconds")
+		rec.BytesProduced = ai64("bytes_produced")
+		rec.BytesAnalyzed = ai64("bytes_analyzed")
+		rec.BytesMoved = ai64("bytes_moved")
+		rec.StagingCores = atoi("staging_cores")
+		rec.StagingRetries = atoi("staging_retries")
+		rec.StagingReconnects = atoi("staging_reconnects")
+		rec.PeakMemBytes = ai64("peak_mem_bytes")
+		rec.MinMemAvail = ai64("min_mem_avail")
+		rec.Triangles = atoi("triangles")
+		rec.SimClock = af("sim_clock")
+		rec.StagingClock = af("staging_clock")
+		rec.FinestLevel = atoi("finest_level")
+		if perr != nil {
+			return nil, perr
+		}
+		p, err := policy.ParsePlacement(get("placement"))
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", len(out)+1, err)
+		}
+		rec.Placement = p
+		out = append(out, rec)
+	}
 }

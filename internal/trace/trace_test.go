@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"strings"
 	"testing"
 
@@ -100,5 +101,117 @@ func TestEmptyInputs(t *testing.T) {
 	recs, err := ReadJSONL(strings.NewReader(""))
 	if err != nil || len(recs) != 0 {
 		t.Error("empty JSONL read failed")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	steps := sampleSteps()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(steps) {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range steps {
+		if back[i].Step != steps[i].Step || back[i].Factor != steps[i].Factor ||
+			back[i].Placement != steps[i].Placement ||
+			back[i].PlacementReason != steps[i].PlacementReason ||
+			back[i].BytesMoved != steps[i].BytesMoved ||
+			back[i].SimClock != steps[i].SimClock ||
+			back[i].StagingCores != steps[i].StagingCores {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, back[i], steps[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("step,factor\n1,2\n")); err == nil {
+		t.Error("missing columns accepted")
+	}
+	var buf bytes.Buffer
+	WriteCSV(&buf, sampleSteps())
+	bad := strings.Replace(buf.String(), "in-transit", "in-orbit", 1)
+	_, err := ReadCSV(strings.NewReader(bad))
+	var upe *policy.UnknownPlacementError
+	if !errors.As(err, &upe) || upe.Value != "in-orbit" {
+		t.Errorf("want UnknownPlacementError{in-orbit}, got %v", err)
+	}
+}
+
+// TestReadJSONLPlacementStrict is the regression test for the placement
+// round-trip bug: unknown or empty placement strings must surface a typed
+// error instead of silently decoding as in-situ.
+func TestReadJSONLPlacementStrict(t *testing.T) {
+	for _, bad := range []string{
+		`{"step":0,"placement":"in-orbit"}`,
+		`{"step":0,"placement":""}`,
+		`{"step":0}`,
+	} {
+		_, err := ReadJSONL(strings.NewReader(bad + "\n"))
+		var upe *policy.UnknownPlacementError
+		if !errors.As(err, &upe) {
+			t.Errorf("ReadJSONL(%s): want UnknownPlacementError, got %v", bad, err)
+		}
+	}
+	good := `{"step":0,"placement":"in-transit"}` + "\n"
+	recs, err := ReadJSONL(strings.NewReader(good))
+	if err != nil || len(recs) != 1 || recs[0].Placement != policy.PlaceInTransit {
+		t.Fatalf("valid placement rejected: %v %+v", err, recs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	steps := []core.StepRecord{
+		{Step: 0, Factor: 2, Placement: policy.PlaceInTransit,
+			PlacementReason: "staging idle 3.2s", SimSeconds: 1, AnalysisSeconds: 0.5,
+			TransferSeconds: 0.1, BytesProduced: 1000, BytesAnalyzed: 500, BytesMoved: 500,
+			StagingCores: 32, SimClock: 1.5, StagingClock: 2.0},
+		{Step: 1, Factor: 1, Placement: policy.PlaceInTransit,
+			PlacementReason: "staging idle 9.9s", SimSeconds: 1, AnalysisSeconds: 0.5,
+			TransferSeconds: 0.1, BytesProduced: 1000, BytesAnalyzed: 1000, BytesMoved: 1000,
+			StagingCores: 16, StagingRetries: 2, StagingReconnects: 1,
+			SimClock: 3.0, StagingClock: 4.0},
+		{Step: 2, Factor: 1, Placement: policy.PlaceInSitu,
+			PlacementReason: policy.ReasonStagingFailure, SimSeconds: 1,
+			AnalysisSeconds: 2, BytesProduced: 1000, BytesAnalyzed: 1000,
+			StagingCores: 16, StagingRetries: 3,
+			SimClock: 7.0, StagingClock: 4.0},
+	}
+	rep := Summarize(steps)
+	if rep.Steps != 3 || rep.Degraded != 1 || rep.Retries != 5 || rep.Reconnects != 1 {
+		t.Errorf("totals: %+v", rep)
+	}
+	if rep.Resizes != 1 || rep.Reductions != 1 {
+		t.Errorf("resizes=%d reductions=%d", rep.Resizes, rep.Reductions)
+	}
+	if rep.ByPlacement["in-transit"].Steps != 2 || rep.ByPlacement["in-situ"].Steps != 1 {
+		t.Errorf("by placement: %+v", rep.ByPlacement)
+	}
+	// the two numeric "staging idle Ns" reasons must aggregate to one key
+	if rep.ReasonCounts["staging idle"] != 2 || rep.ReasonCounts[policy.ReasonStagingFailure] != 1 {
+		t.Errorf("reasons: %+v", rep.ReasonCounts)
+	}
+	if rep.EndToEnd != 7 || rep.StepMax != 3 {
+		t.Errorf("end-to-end=%g max=%g", rep.EndToEnd, rep.StepMax)
+	}
+	if rep.StepP50 != 2 {
+		t.Errorf("p50=%g (spans 2,2,3)", rep.StepP50)
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steps", "in-transit", "staging idle", "retries=5"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report text missing %q:\n%s", want, sb.String())
+		}
 	}
 }
