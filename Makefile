@@ -3,15 +3,24 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet race fuzz clean
+.PHONY: check build test vet staticcheck race fuzz clean
 
-check: vet build race fuzz
+check: vet staticcheck build race fuzz
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs it); locally it
+# is optional, so a bare toolchain still passes `make check`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

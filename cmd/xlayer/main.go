@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"time"
@@ -40,6 +41,9 @@ func main() {
 	jsonlPath := fs.String("jsonl", "", "write per-step records as JSON Lines to this file (run mode)")
 	plotPath := fs.String("plotfile", "", "write the final AMR hierarchy snapshot to this file (run mode)")
 	stagingTCP := fs.Bool("staging-tcp", false, "route in-transit data through a loopback TCP staging server (run mode)")
+	stagingServers := fs.Int("staging-servers", 1, "shard the TCP staging path across N loopback servers (run mode; >1 implies -staging-tcp)")
+	stagingReplicas := fs.Int("staging-replicas", 1, "replicate each block to K pool servers (run mode; needs -staging-servers >= K)")
+	stagingKill := fs.String("staging-kill", "", "crash one pool server mid-run, e.g. server=1,at=3,revive=6 (run mode; needs -staging-servers > 1)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
 	eventsPath := fs.String("events", "", "stream structured runtime events as JSON Lines to this file (run mode); event log to summarize (report mode)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on this address during the run, e.g. :9090 or :0 (run mode)")
@@ -88,7 +92,9 @@ func main() {
 			steps: *steps, cores: *cores, staging: *staging,
 			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
 			stagingTCP: *stagingTCP, fault: *fault,
-			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
+			stagingServers: *stagingServers, stagingReplicas: *stagingReplicas,
+			stagingKill: *stagingKill,
+			eventsPath:  *eventsPath, metricsAddr: *metricsAddr,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
@@ -110,6 +116,7 @@ run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
            -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
+           -staging-servers N  -staging-replicas K  -staging-kill server=1,at=3,revive=6
            -events FILE (structured event stream)  -metrics-addr ADDR (Prometheus)
 runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
 report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl`)
@@ -143,12 +150,14 @@ func runSpec(path string) error {
 }
 
 type runOpts struct {
-	app, placement, objective    string
-	steps, cores, staging        int
-	csvPath, jsonlPath, plotPath string
-	stagingTCP                   bool
-	fault                        string
-	eventsPath, metricsAddr      string
+	app, placement, objective       string
+	steps, cores, staging           int
+	csvPath, jsonlPath, plotPath    string
+	stagingTCP                      bool
+	fault                           string
+	stagingServers, stagingReplicas int
+	stagingKill                     string
+	eventsPath, metricsAddr         string
 }
 
 // runReport summarizes previously written run artifacts: a step trace
@@ -279,17 +288,33 @@ func runWorkflow(o runOpts) error {
 		fmt.Printf("metrics: %s\n", ms.URL())
 	}
 
-	var client *crosslayer.StagingClient
-	if o.stagingTCP || o.fault != "" {
-		var srv *crosslayer.StagingServer
+	var transport interface {
+		TransportStats() (retries, reconnects int64)
+	}
+	var pool *crosslayer.StagingPool
+	if o.stagingServers > 1 {
+		var closers []io.Closer
+		var after func(int)
 		var err error
-		client, srv, err = dialLoopbackStaging(o.fault, dom, emitter, reg)
+		pool, closers, after, err = dialPoolStaging(o, dom, emitter, reg)
+		if err != nil {
+			return err
+		}
+		for _, c := range closers {
+			defer c.Close()
+		}
+		cfg.Staging = pool
+		cfg.AfterStep = after
+		transport = pool
+	} else if o.stagingTCP || o.fault != "" {
+		client, srv, err := dialLoopbackStaging(o.fault, dom, emitter, reg)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		defer client.Close()
 		cfg.Staging = client
+		transport = client
 	}
 
 	w, err := crosslayer.NewWorkflow(cfg, sim)
@@ -304,8 +329,8 @@ func runWorkflow(o runOpts) error {
 	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB\n",
 		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30))
 	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
-	if client != nil {
-		retries, reconnects := client.TransportStats()
+	if transport != nil {
+		retries, reconnects := transport.TransportStats()
 		degraded := 0
 		for _, s := range res.Steps {
 			if s.PlacementReason == crosslayer.ReasonStagingFailure {
@@ -314,6 +339,11 @@ func runWorkflow(o runOpts) error {
 		}
 		fmt.Printf("staging transport: %d retries, %d reconnects, %d degraded steps\n",
 			retries, reconnects, degraded)
+	}
+	if pool != nil {
+		healthy, total := pool.HealthyEndpoints()
+		fmt.Printf("staging pool: %d servers (x%d replicas), %d/%d healthy at end\n",
+			pool.NumEndpoints(), pool.Replicas(), healthy, total)
 	}
 	for _, s := range res.Steps {
 		fmt.Printf("  step %2d: factor %2d, %-10s, M=%3d, sim %.3fs, analysis %.3fs — %s\n",
@@ -387,6 +417,83 @@ func dialLoopbackStaging(faultStr string, dom crosslayer.Box, em *crosslayer.Eve
 	srv.Observe(reg)
 	client := crosslayer.NewStagingClient(ln.Addr().String(), opts)
 	return client, srv, nil
+}
+
+// dialPoolStaging stands up -staging-servers loopback servers, each behind a
+// kill-switch gate, and a replicated pool client over them. When
+// -staging-kill is given, the returned after-step hook crashes the chosen
+// server (transport severed, backing space wiped) once its step completes
+// and revives the listener at the scheduled rejoin step.
+func dialPoolStaging(o runOpts, dom crosslayer.Box, em *crosslayer.EventEmitter, reg *crosslayer.MetricsRegistry) (*crosslayer.StagingPool, []io.Closer, func(int), error) {
+	kill, err := crosslayer.ParseStagingKill(o.stagingKill)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if kill != nil && (kill.Server < 0 || kill.Server >= o.stagingServers) {
+		return nil, nil, nil, fmt.Errorf("staging kill: server %d out of range [0,%d)", kill.Server, o.stagingServers)
+	}
+	var closers []io.Closer
+	fail := func(err error) (*crosslayer.StagingPool, []io.Closer, func(int), error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, nil, nil, err
+	}
+	addrs := make([]string, 0, o.stagingServers)
+	gates := make([]*crosslayer.FaultGate, 0, o.stagingServers)
+	spaces := make([]*crosslayer.StagingSpace, 0, o.stagingServers)
+	for i := 0; i < o.stagingServers; i++ {
+		space := crosslayer.NewStagingSpace(1, 0, dom)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		gate := crosslayer.NewFaultGate(ln)
+		wrapped := net.Listener(gate)
+		if o.fault != "" {
+			plan, err := crosslayer.ParseFaultPlan(o.fault)
+			if err != nil {
+				gate.Close()
+				return fail(err)
+			}
+			wrapped = crosslayer.FaultListen(wrapped, plan)
+		}
+		srv := crosslayer.ServeStagingOn(wrapped, space)
+		srv.Observe(reg)
+		addrs = append(addrs, ln.Addr().String())
+		gates = append(gates, gate)
+		spaces = append(spaces, space)
+		closers = append(closers, srv)
+	}
+	pool, err := crosslayer.NewStagingPool(addrs, dom, crosslayer.StagingPoolOptions{
+		Replicas: o.stagingReplicas,
+		Client: crosslayer.StagingClientOptions{
+			OpTimeout:   2 * time.Second,
+			MaxRetries:  1,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  10 * time.Millisecond,
+		},
+		Events:  em,
+		Metrics: reg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, pool)
+	var after func(int)
+	if kill != nil {
+		gate, space := gates[kill.Server], spaces[kill.Server]
+		after = func(step int) {
+			if step == kill.AtStep {
+				gate.Kill()
+				space.Clear()
+			}
+			if kill.ReviveStep > 0 && step == kill.ReviveStep {
+				gate.Revive()
+			}
+		}
+	}
+	return pool, closers, after, nil
 }
 
 // writeArtifact creates path, runs the writer, and closes the file,

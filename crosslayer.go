@@ -313,6 +313,39 @@ func FaultListen(ln net.Listener, plan FaultPlan) net.Listener {
 	return faultnet.Listen(ln, plan)
 }
 
+// Replicated staging pool: multi-server sharding, crash failover and rejoin
+// repair (see DESIGN.md §9).
+type (
+	// StagingPool shards blocks across N TCP staging servers by Morton
+	// code, replicates each to K endpoints, and fails reads over to
+	// replicas behind per-endpoint circuit breakers. It satisfies
+	// StagingStore (Config.Staging).
+	StagingPool = staging.Pool
+	// StagingPoolOptions tunes the pool's replication factor, breaker
+	// thresholds, probe cadence, and endpoint clients.
+	StagingPoolOptions = staging.PoolOptions
+	// FaultGate is a listener wrapper with a kill switch — the transport
+	// half of a modeled staging-server crash (wipe the backing
+	// StagingSpace for the state half).
+	FaultGate = faultnet.Gate
+	// StagingKillSpec schedules a deterministic crash (and optional
+	// rejoin) of one pool server in a workflow spec.
+	StagingKillSpec = spec.KillSpec
+)
+
+// NewStagingPool builds a replicated, sharded pool client over the given
+// staging server addresses. Endpoint clients connect lazily.
+func NewStagingPool(addrs []string, domain Box, opts StagingPoolOptions) (*StagingPool, error) {
+	return staging.NewPool(addrs, domain, opts)
+}
+
+// NewFaultGate wraps a listener with a kill switch; see FaultGate.
+func NewFaultGate(ln net.Listener) *FaultGate { return faultnet.NewGate(ln) }
+
+// ParseStagingKill parses the crash-schedule shorthand
+// "server=1,at=3,revive=6" (revive optional; empty string yields nil).
+func ParseStagingKill(s string) (*StagingKillSpec, error) { return spec.ParseKill(s) }
+
 // Declarative workflow specifications (the paper's future-work
 // programming model).
 type (

@@ -148,6 +148,16 @@ func (e *Engine) AdaptResource(redBytes, redCells int64, s monitor.Sample, mon *
 	// sizing equation linear in M and consistent with execution.
 	recvCoreSecs := (float64(redBytes)/e.cfg.Machine.NetBandwidth*float64(e.cfg.Machine.CoresPerNode) +
 		e.cfg.Machine.NetLatency) * e.cfg.LinkDegrade
+	// A replicated pool with crashed endpoints has lost the cores those
+	// servers contributed: cap the allocation to the healthy fraction so the
+	// resource layer stops planning capacity that no longer exists (Eq. 10).
+	maxCores := e.cfg.StagingCores
+	if f := s.StagingHealthFrac(); f < 1 {
+		maxCores = int(f * float64(e.cfg.StagingCores))
+		if maxCores < 1 {
+			maxCores = 1
+		}
+	}
 	return policy.SelectStagingCores(policy.ResourceInput{
 		DataBytes:        redBytes,
 		MemPerCore:       e.cfg.Machine.MemPerCore(),
@@ -155,7 +165,7 @@ func (e *Engine) AdaptResource(redBytes, redCells int64, s monitor.Sample, mon *
 		NextSimSeconds:   mon.PredictSimSeconds(s.SimSeconds),
 		SendSeconds:      send,
 		MinCores:         1,
-		MaxCores:         e.cfg.StagingCores,
+		MaxCores:         maxCores,
 	})
 }
 

@@ -29,6 +29,8 @@ type coreMetrics struct {
 
 	stagingCores   *obs.Gauge
 	stagingMemUsed *obs.Gauge
+	stagingMemCap  *obs.Gauge
+	stagingHealthy *obs.Gauge
 }
 
 func newCoreMetrics(reg *obs.Registry) *coreMetrics {
@@ -71,5 +73,9 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 			"Staging-pool allocation in effect."),
 		stagingMemUsed: reg.Gauge("xlayer_staging_mem_used_bytes",
 			"Staging memory occupancy at model scale."),
+		stagingMemCap: reg.Gauge("xlayer_staging_mem_cap_bytes",
+			"Effective staging memory capacity (scaled to healthy endpoints)."),
+		stagingHealthy: reg.Gauge("xlayer_staging_healthy_endpoints",
+			"Staging-pool endpoints currently in rotation."),
 	}
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/sysmodel"
+)
+
+func splitInput(n int) []*field.BoxData {
+	out := make([]*field.BoxData, n)
+	for i := range out {
+		out[i] = field.New(grid.BoxFromSize(grid.IV(i*8, 0, 0), grid.IV(8, 8, 8)), 1)
+	}
+	return out
+}
+
+func TestSplitBlocksFractionZero(t *testing.T) {
+	blocks := splitInput(4)
+	first, second := splitBlocks(blocks, 0)
+	if len(first) != 0 || len(second) != 4 {
+		t.Errorf("frac 0: split %d/%d, want 0/4", len(first), len(second))
+	}
+	first, second = splitBlocks(blocks, -0.5)
+	if len(first) != 0 || len(second) != 4 {
+		t.Errorf("frac <0: split %d/%d, want 0/4", len(first), len(second))
+	}
+}
+
+func TestSplitBlocksFractionOne(t *testing.T) {
+	blocks := splitInput(4)
+	first, second := splitBlocks(blocks, 1)
+	if len(first) != 4 || len(second) != 0 {
+		t.Errorf("frac 1: split %d/%d, want 4/0", len(first), len(second))
+	}
+	first, second = splitBlocks(blocks, 2.5)
+	if len(first) != 4 || len(second) != 0 {
+		t.Errorf("frac >1: split %d/%d, want 4/0", len(first), len(second))
+	}
+}
+
+func TestSplitBlocksSingleBlock(t *testing.T) {
+	blocks := splitInput(1)
+	// A single block is indivisible: any positive fraction keeps it whole
+	// in the first part.
+	first, second := splitBlocks(blocks, 0.5)
+	if len(first) != 1 || len(second) != 0 {
+		t.Errorf("frac 0.5: split %d/%d, want 1/0", len(first), len(second))
+	}
+	first, second = splitBlocks(blocks, 0)
+	if len(first) != 0 || len(second) != 1 {
+		t.Errorf("frac 0: split %d/%d, want 0/1", len(first), len(second))
+	}
+}
+
+func TestSplitBlocksEmptyInput(t *testing.T) {
+	first, second := splitBlocks(nil, 0.5)
+	if len(first) != 0 || len(second) != 0 {
+		t.Errorf("nil input: split %d/%d, want 0/0", len(first), len(second))
+	}
+}
+
+func TestSplitBlocksConservesCells(t *testing.T) {
+	blocks := splitInput(5)
+	var total int64
+	for _, b := range blocks {
+		total += b.NumCells()
+	}
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		first, second := splitBlocks(blocks, frac)
+		var got int64
+		for _, b := range first {
+			got += b.NumCells()
+		}
+		for _, b := range second {
+			got += b.NumCells()
+		}
+		if got != total {
+			t.Errorf("frac %.1f: %d cells after split, want %d", frac, got, total)
+		}
+		if len(first)+len(second) != len(blocks) {
+			t.Errorf("frac %.1f: %d+%d blocks, want %d", frac, len(first), len(second), len(blocks))
+		}
+	}
+}
+
+func hybridEngine() *Engine {
+	return NewEngine(Config{
+		Machine:      sysmodel.Titan(),
+		SimCores:     1024,
+		StagingCores: 64,
+		Enable:       Adaptations{Middleware: true},
+		EnableHybrid: true,
+	})
+}
+
+func TestHybridFractionZeroWork(t *testing.T) {
+	e := hybridEngine()
+	// No cells and no transfer means no in-transit work to split.
+	phi := e.HybridFraction(PlacementState{ReducedCells: 0, TransferSeconds: 0, StagingCores: 64}, 1.0)
+	if phi != 0 {
+		t.Errorf("phi = %v, want 0 for zero work", phi)
+	}
+}
+
+func TestHybridFractionClampsToOne(t *testing.T) {
+	e := hybridEngine()
+	// Staging already booked far past the budget: everything stays in-situ
+	// (phi is the in-situ share), clamped at 1.
+	st := PlacementState{
+		ReducedCells:     1 << 20,
+		TransferSeconds:  0.5,
+		StagingCores:     64,
+		StagingRemaining: 1e6,
+	}
+	if phi := e.HybridFraction(st, 0.001); phi != 1 {
+		t.Errorf("phi = %v, want 1 when staging is saturated", phi)
+	}
+}
+
+func TestHybridFractionClampsToZero(t *testing.T) {
+	e := hybridEngine()
+	// A huge absorption budget means staging takes everything: phi 0.
+	st := PlacementState{
+		ReducedCells:     1 << 10,
+		TransferSeconds:  0.01,
+		StagingCores:     64,
+		StagingRemaining: 0,
+	}
+	if phi := e.HybridFraction(st, 1e9); phi != 0 {
+		t.Errorf("phi = %v, want 0 with unlimited budget", phi)
+	}
+}

@@ -25,6 +25,15 @@ type transportStats interface {
 	TransportStats() (retries, reconnects int64)
 }
 
+// endpointHealth is the optional health face of a StagingStore: a
+// replicated staging pool reports how many of its endpoints are in
+// rotation. The workflow scales the monitored staging capacity by this
+// fraction, so the resource and middleware layers adapt to lost servers
+// instead of planning against capacity that no longer exists.
+type endpointHealth interface {
+	HealthyEndpoints() (healthy, total int)
+}
+
 // spaceStore adapts the in-process Space to the StagingStore interface.
 type spaceStore struct{ sp *staging.Space }
 
@@ -44,6 +53,15 @@ func (s spaceStore) DropBefore(varName string, version int) (int64, error) {
 func transportStatsOf(store StagingStore) (retries, reconnects int64) {
 	if ts, ok := store.(transportStats); ok {
 		return ts.TransportStats()
+	}
+	return 0, 0
+}
+
+// endpointHealthOf reads the store's endpoint health; (0, 0) means the
+// store does not track endpoints (in-process space, single client).
+func endpointHealthOf(store StagingStore) (healthy, total int) {
+	if eh, ok := store.(endpointHealth); ok {
+		return eh.HealthyEndpoints()
 	}
 	return 0, 0
 }

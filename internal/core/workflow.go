@@ -90,6 +90,12 @@ type Config struct {
 	// disables the cooldown, so only the failing step itself degrades).
 	StagingFailureCooldown int
 
+	// AfterStep, when set, runs synchronously on the workflow goroutine
+	// after each completed step with that step's index. The crash/rejoin
+	// harness uses it to kill and revive staging servers at scheduled
+	// steps, keeping seeded failure runs deterministic.
+	AfterStep func(step int)
+
 	// Obs receives the structured runtime event stream (nil disables
 	// emission; the disabled path is allocation-free on the step hot
 	// loop). The workflow installs its virtual clock into the emitter so
@@ -259,6 +265,24 @@ func (w *Workflow) scale(v int64) int64 {
 	return int64(float64(v) * w.cfg.CellScale)
 }
 
+// effectiveStagingCap is the staging memory capacity the policies should
+// plan against: the configured capacity scaled to the healthy fraction of a
+// replicated pool's endpoints. A crashed server's memory is capacity the
+// run no longer has — the resource layer must see it gone (Eq. 10). With
+// every endpoint down the capacity is one byte, not zero: zero means
+// "unlimited" to the policies, the exact opposite of a dead pool.
+func (w *Workflow) effectiveStagingCap(healthy, total int) int64 {
+	cap := w.stagingMemCap
+	if total <= 0 || healthy >= total || cap == 0 {
+		return cap
+	}
+	cap = cap * int64(healthy) / int64(total)
+	if cap <= 0 {
+		cap = 1
+	}
+	return cap
+}
+
 // analysisBlocks extracts the analysis component of every patch of every
 // level as standalone single-component blocks.
 func (w *Workflow) analysisBlocks() []*field.BoxData {
@@ -335,20 +359,23 @@ func (w *Workflow) Step() StepRecord {
 	}
 	coresPerRank := float64(w.cfg.SimCores) / float64(h.Cfg.NRanks)
 	maxRankData := int64(float64(w.scale(maxRankCells*8)) / coresPerRank)
+	healthy, totalEps := endpointHealthOf(w.store)
 	sample := monitor.Sample{
-		Step:             w.step,
-		SimSeconds:       simSecs,
-		DataBytes:        rawBytes,
-		DataCells:        w.scale(rawCells),
-		FinestLevel:      stats.FinestLevel,
-		Imbalance:        imbalance,
-		MemUsedPerRank:   memUsed,
-		MemAvailPerRank:  memAvail,
-		StagingMemUsed:   w.stagingMemUsed,
-		StagingMemCap:    w.stagingMemCap,
-		StagingCores:     w.pool.Cores(),
-		StagingBusy:      w.pool.RemainingAt(simEnd),
-		MaxRankDataBytes: maxRankData,
+		Step:                    w.step,
+		SimSeconds:              simSecs,
+		DataBytes:               rawBytes,
+		DataCells:               w.scale(rawCells),
+		FinestLevel:             stats.FinestLevel,
+		Imbalance:               imbalance,
+		MemUsedPerRank:          memUsed,
+		MemAvailPerRank:         memAvail,
+		StagingMemUsed:          w.stagingMemUsed,
+		StagingMemCap:           w.effectiveStagingCap(healthy, totalEps),
+		StagingCores:            w.pool.Cores(),
+		StagingBusy:             w.pool.RemainingAt(simEnd),
+		MaxRankDataBytes:        maxRankData,
+		StagingHealthyEndpoints: healthy,
+		StagingTotalEndpoints:   totalEps,
 	}
 	w.mon.Record(sample)
 	rec.PeakMemBytes = sample.MaxMemUsed()
@@ -395,6 +422,10 @@ func (w *Workflow) Step() StepRecord {
 		m.bytesProduced.Add(float64(rec.BytesProduced))
 		m.stagingCores.Set(float64(rec.StagingCores))
 		m.stagingMemUsed.Set(float64(rec.StagingMemUsed))
+		m.stagingMemCap.Set(float64(sample.StagingMemCap))
+		if totalEps > 0 {
+			m.stagingHealthy.Set(float64(healthy))
+		}
 		if analyze {
 			m.analysisSeconds.Observe(rec.AnalysisSeconds)
 			m.bytesAnalyzed.Add(float64(rec.BytesAnalyzed))
@@ -422,6 +453,9 @@ func (w *Workflow) Step() StepRecord {
 			rec.AnalysisSeconds, rec.TransferSeconds, rec.BytesMoved)
 	}
 	w.step++
+	if w.cfg.AfterStep != nil {
+		w.cfg.AfterStep(rec.Step)
+	}
 	return rec
 }
 
@@ -490,14 +524,14 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 		StagingRemaining: stagingRemaining,
 		TransferSeconds:  transfer,
 		StagingMemUsed:   w.stagingMemUsed,
-		StagingMemCap:    w.stagingMemCap,
+		StagingMemCap:    sample.StagingMemCap,
 	})
 	rec.Placement = placement
 	rec.PlacementReason = reason
 	if w.span.Enabled() && c.Enable.Middleware {
 		w.span.PolicyDecision("middleware", placement.String(), reason, 0, 0,
 			fmt.Sprintf("reduced_bytes=%d transfer_s=%.4g staging_remaining_s=%.4g staging_mem=%d/%d",
-				redBytes, transfer, stagingRemaining, w.stagingMemUsed, w.stagingMemCap))
+				redBytes, transfer, stagingRemaining, w.stagingMemUsed, sample.StagingMemCap))
 	}
 
 	// Hybrid placement: when enabled and both sides could host the work,

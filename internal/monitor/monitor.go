@@ -27,11 +27,28 @@ type Sample struct {
 	MemUsedPerRank  []int64 // bytes in use
 	MemAvailPerRank []int64 // bytes still free
 
-	// Middleware/staging.
+	// Middleware/staging. StagingMemCap is the *effective* capacity: with a
+	// replicated staging pool it is scaled down to the healthy endpoints, so
+	// the policies plan against capacity that actually exists.
 	StagingMemUsed int64
 	StagingMemCap  int64 // 0 = unlimited
 	StagingCores   int
 	StagingBusy    float64 // remaining booked staging seconds at sample time
+
+	// Replicated staging-pool health: endpoints in rotation out of the
+	// configured total. Both zero when the transport does not track
+	// endpoints (in-process space, single TCP server).
+	StagingHealthyEndpoints int
+	StagingTotalEndpoints   int
+}
+
+// StagingHealthFrac returns the healthy fraction of staging endpoints, 1
+// when the transport does not track endpoints.
+func (s *Sample) StagingHealthFrac() float64 {
+	if s.StagingTotalEndpoints <= 0 {
+		return 1
+	}
+	return float64(s.StagingHealthyEndpoints) / float64(s.StagingTotalEndpoints)
 }
 
 // MinMemAvail returns the tightest per-rank memory availability — the

@@ -61,6 +61,18 @@ const (
 	// KindFaultInjected records a fault-injection firing (refuse, drop,
 	// truncate, corrupt).
 	KindFaultInjected Kind = "fault_injected"
+	// KindEndpointDown marks a staging-pool endpoint whose circuit breaker
+	// opened after consecutive transport failures.
+	KindEndpointDown Kind = "endpoint_down"
+	// KindEndpointUp marks a staging-pool endpoint rejoining after a
+	// successful half-open probe and anti-entropy repair.
+	KindEndpointUp Kind = "endpoint_up"
+	// KindFailoverGet marks a shard read served by a replica because the
+	// primary endpoint was down or failing.
+	KindFailoverGet Kind = "failover_get"
+	// KindRepair records one anti-entropy repair pass: the blocks
+	// re-replicated onto a rejoining endpoint from surviving peers.
+	KindRepair Kind = "repair"
 )
 
 // StepUnset marks an event emitted outside any step span; the emitter
@@ -92,6 +104,10 @@ type Event struct {
 	Bytes     int64   `json:"bytes,omitempty"`
 	Seconds   float64 `json:"seconds,omitempty"`
 	Attempt   int     `json:"attempt,omitempty"`
+	// Endpoint is the staging-pool endpoint index for pool events
+	// (endpoint_down/up, failover_get, repair). Index 0 renders in Detail
+	// only, the price of omitempty.
+	Endpoint int `json:"endpoint,omitempty"`
 	// Detail carries free-form context: a policy's inputs, a fault's
 	// description, a transport error.
 	Detail string `json:"detail,omitempty"`
@@ -320,6 +336,54 @@ func (e *Emitter) FaultInjected(fault, detail string) {
 		return
 	}
 	e.Emit(Event{Kind: KindFaultInjected, Step: StepUnset, Reason: fault, Detail: detail})
+}
+
+// EndpointDown records a staging-pool endpoint's circuit breaker opening
+// after consecutive transport failures.
+func (e *Emitter) EndpointDown(endpoint, failures int) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindEndpointDown, Step: StepUnset, Endpoint: endpoint, Attempt: failures,
+		Detail: fmt.Sprintf("endpoint %d down after %d consecutive failures", endpoint, failures),
+	})
+}
+
+// EndpointUp records a staging-pool endpoint rejoining after a successful
+// probe and repair pass.
+func (e *Emitter) EndpointUp(endpoint int) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindEndpointUp, Step: StepUnset, Endpoint: endpoint,
+		Detail: fmt.Sprintf("endpoint %d healthy", endpoint),
+	})
+}
+
+// FailoverGet records a shard read served by a replica endpoint because the
+// shard's primary was down or failing.
+func (e *Emitter) FailoverGet(shard, endpoint int) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindFailoverGet, Step: StepUnset, Endpoint: endpoint,
+		Detail: fmt.Sprintf("shard %d served by replica endpoint %d", shard, endpoint),
+	})
+}
+
+// Repair records an anti-entropy repair pass re-replicating blocks onto a
+// rejoining endpoint.
+func (e *Emitter) Repair(endpoint, blocks int, bytes int64) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindRepair, Step: StepUnset, Endpoint: endpoint, Bytes: bytes,
+		Detail: fmt.Sprintf("re-replicated %d blocks onto endpoint %d", blocks, endpoint),
+	})
 }
 
 // BeginStep opens a step span: a step_started event is emitted and every

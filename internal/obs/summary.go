@@ -26,6 +26,12 @@ type EventSummary struct {
 	Degrades   int
 	Resizes    int
 
+	// Replicated staging-pool health (zero outside pool deployments).
+	EndpointDowns int
+	EndpointUps   int
+	FailoverGets  int
+	Repairs       int
+
 	// EndToEnd is the run_finished event's seconds (0 when absent).
 	EndToEnd float64
 }
@@ -60,6 +66,14 @@ func SummarizeEvents(evs []Event) EventSummary {
 			s.Degrades++
 		case KindResourceResize:
 			s.Resizes++
+		case KindEndpointDown:
+			s.EndpointDowns++
+		case KindEndpointUp:
+			s.EndpointUps++
+		case KindFailoverGet:
+			s.FailoverGets++
+		case KindRepair:
+			s.Repairs++
 		case KindRunFinished:
 			s.EndToEnd = ev.Seconds
 		}
@@ -92,6 +106,10 @@ func (s EventSummary) WriteText(w io.Writer) error {
 	if s.Retries+s.Reconnects+s.Degrades > 0 {
 		fmt.Fprintf(w, "staging transport: %d retries, %d reconnects, %d degraded steps\n",
 			s.Retries, s.Reconnects, s.Degrades)
+	}
+	if s.EndpointDowns+s.EndpointUps+s.FailoverGets+s.Repairs > 0 {
+		fmt.Fprintf(w, "staging pool: %d endpoint outages, %d rejoins, %d failover gets, %d repairs\n",
+			s.EndpointDowns, s.EndpointUps, s.FailoverGets, s.Repairs)
 	}
 	if len(s.Faults) > 0 {
 		fmt.Fprintln(w, "faults injected:")

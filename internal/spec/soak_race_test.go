@@ -1,0 +1,75 @@
+//go:build race
+
+package spec
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/policy"
+)
+
+// TestPoolCrashFailoverSoak exercises the crash/rejoin machinery repeatedly
+// under the race detector (the `race` build tag is set automatically by
+// `go test -race`, i.e. `make race`): several seeded plans, each killing a
+// different server at a different step and rejoining it mid-run. Every
+// iteration must absorb the crash without a staging_failure step, and each
+// plan must reproduce its own event log byte for byte.
+func TestPoolCrashFailoverSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	plans := []struct{ server, at, revive int }{
+		{0, 1, 4},
+		{1, 2, 6},
+		{2, 3, 7},
+	}
+	for i, p := range plans {
+		src := fmt.Sprintf(`{
+			"application": "advection-diffusion",
+			"domain": [16, 16, 16],
+			"placement": "intransit",
+			"staging_tcp": true,
+			"staging_servers": 3,
+			"staging_replicas": 2,
+			"staging_kill": {"server": %d, "at_step": %d, "revive_step": %d},
+			"events": %%q,
+			"steps": 12
+		}`, p.server, p.at, p.revive)
+		var logs [][]byte
+		for run := 0; run < 2; run++ {
+			eventsPath := filepath.Join(dir, fmt.Sprintf("plan%d-run%d.jsonl", i, run))
+			w, err := Parse(strings.NewReader(fmt.Sprintf(src, eventsPath)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wf, _, err := w.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := wf.Run(w.StepsOrDefault())
+			if err := wf.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range res.Steps {
+				if s.PlacementReason == policy.ReasonStagingFailure {
+					t.Errorf("plan %d run %d: step %d degraded despite a surviving replica",
+						i, run, s.Step)
+				}
+			}
+			log, err := os.ReadFile(eventsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			logs = append(logs, log)
+		}
+		if !bytes.Equal(logs[0], logs[1]) {
+			t.Errorf("plan %d: event logs differ between runs", i)
+		}
+	}
+}

@@ -9,10 +9,13 @@ package spec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"crosslayer/internal/amr"
@@ -75,6 +78,18 @@ type Workflow struct {
 	// staging server (the deployment shape) instead of the in-process
 	// space. Transport failures then degrade steps to in-situ execution.
 	StagingTCP bool `json:"staging_tcp"`
+	// StagingServers shards the TCP staging path across this many loopback
+	// servers behind a replicated pool (default 1 = the single-server
+	// client; > 1 requires staging_tcp).
+	StagingServers int `json:"staging_servers"`
+	// StagingReplicas is how many pool servers hold each block, primary
+	// included (default 1 = no replication; must not exceed
+	// staging_servers).
+	StagingReplicas int `json:"staging_replicas"`
+	// StagingKill schedules a deterministic crash (and optional rejoin) of
+	// one pool server — the crash-failover harness. Requires
+	// staging_servers > 1.
+	StagingKill *KillSpec `json:"staging_kill"`
 	// Fault injects deterministic transport faults into the TCP staging
 	// path (requires staging_tcp) — the controlled-failure harness.
 	Fault *FaultSpec `json:"fault"`
@@ -111,6 +126,62 @@ type FaultSpec struct {
 	LatencyMS      float64 `json:"latency_ms"`
 	TruncateRate   float64 `json:"truncate_rate"`
 	CorruptRate    float64 `json:"corrupt_rate"`
+}
+
+// Typed validation errors for the replicated-pool knobs, so callers (and
+// table tests) can match the failure class with errors.Is instead of
+// scraping message text.
+var (
+	// ErrReplicasExceedServers: staging_replicas asks for more copies than
+	// there are servers to hold them.
+	ErrReplicasExceedServers = errors.New("spec: staging_replicas exceeds staging_servers")
+	// ErrServersRequireTCP: a multi-server pool only exists on the TCP
+	// staging path.
+	ErrServersRequireTCP = errors.New("spec: staging_servers > 1 requires staging_tcp")
+	// ErrKillRequiresPool: killing a server needs a pool with survivors.
+	ErrKillRequiresPool = errors.New("spec: staging_kill requires staging_servers > 1")
+)
+
+// KillSpec schedules a deterministic crash of one pool server: after step
+// AtStep completes the server's listener is killed (in-flight connections
+// severed, new ones refused) and its backing space wiped; after step
+// ReviveStep the listener is revived and the pool's rejoin repair
+// re-replicates what the server should hold. ReviveStep 0 means the server
+// never comes back.
+type KillSpec struct {
+	Server     int `json:"server"`
+	AtStep     int `json:"at_step"`
+	ReviveStep int `json:"revive_step"`
+}
+
+// ParseKill parses the CLI shorthand "server=1,at=3,revive=6" (revive
+// optional) into a KillSpec. An empty string yields nil (no kill).
+func ParseKill(s string) (*KillSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	k := &KillSpec{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("spec: staging kill: want key=value, got %q", part)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, fmt.Errorf("spec: staging kill: %q: %w", part, err)
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "server":
+			k.Server = v
+		case "at":
+			k.AtStep = v
+		case "revive":
+			k.ReviveStep = v
+		default:
+			return nil, fmt.Errorf("spec: staging kill: unknown key %q", kv[0])
+		}
+	}
+	return k, nil
 }
 
 // Plan converts the JSON fault shape into a faultnet plan.
@@ -188,6 +259,31 @@ func (w *Workflow) validate() error {
 		}
 		if err := w.Fault.Plan().Validate(); err != nil {
 			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	if w.StagingServers < 0 || w.StagingReplicas < 0 {
+		return fmt.Errorf("spec: negative staging_servers/staging_replicas")
+	}
+	if w.StagingServers > 1 && !w.StagingTCP {
+		return fmt.Errorf("%w (got staging_servers=%d)", ErrServersRequireTCP, w.StagingServers)
+	}
+	if w.StagingReplicas > max(w.StagingServers, 1) {
+		return fmt.Errorf("%w (%d > %d)", ErrReplicasExceedServers,
+			w.StagingReplicas, max(w.StagingServers, 1))
+	}
+	if k := w.StagingKill; k != nil {
+		if w.StagingServers < 2 {
+			return fmt.Errorf("%w (got staging_servers=%d)", ErrKillRequiresPool, w.StagingServers)
+		}
+		if k.Server < 0 || k.Server >= w.StagingServers {
+			return fmt.Errorf("spec: staging_kill server %d out of range [0,%d)", k.Server, w.StagingServers)
+		}
+		if k.AtStep < 0 {
+			return fmt.Errorf("spec: staging_kill at_step must be >= 0, got %d", k.AtStep)
+		}
+		if k.ReviveStep != 0 && k.ReviveStep <= k.AtStep {
+			return fmt.Errorf("spec: staging_kill revive_step %d must be after at_step %d (0 = never)",
+				k.ReviveStep, k.AtStep)
 		}
 	}
 	return nil
@@ -290,15 +386,28 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 		closers = append(closers, ms)
 	}
 	if w.StagingTCP {
-		client, srv, err := w.buildStagingTCP(amrCfg.Domain, emitter, reg)
-		if err != nil {
-			for _, c := range closers {
-				c.Close()
+		if w.StagingServers > 1 {
+			pool, cs, after, err := w.buildStagingPool(amrCfg.Domain, emitter, reg)
+			if err != nil {
+				for _, c := range closers {
+					c.Close()
+				}
+				return nil, nil, err
 			}
-			return nil, nil, err
+			cfg.Staging = pool
+			cfg.AfterStep = after
+			closers = append(closers, cs...)
+		} else {
+			client, srv, err := w.buildStagingTCP(amrCfg.Domain, emitter, reg)
+			if err != nil {
+				for _, c := range closers {
+					c.Close()
+				}
+				return nil, nil, err
+			}
+			cfg.Staging = client
+			closers = append(closers, srv, client)
 		}
-		cfg.Staging = client
-		closers = append(closers, srv, client)
 	}
 
 	wf, err := core.NewWorkflow(cfg, sim)
@@ -361,6 +470,77 @@ func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, reg *obs.Re
 		client = staging.NewClient(ln.Addr().String(), opts)
 	}
 	return client, srv, nil
+}
+
+// buildStagingPool stands up staging_servers loopback servers, each behind a
+// faultnet.Gate kill switch (and optionally the spec's fault plan), and a
+// replicated pool client over them. When a kill is scheduled, the returned
+// after-step hook crashes the chosen server once its step completes — the
+// gate severs the transport, Clear wipes the backing space, so a revived
+// server comes back empty and rejoin repair has real work — and revives the
+// gate after the scheduled rejoin step.
+func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.Registry) (*staging.Pool, []io.Closer, func(step int), error) {
+	n := w.StagingServers
+	addrs := make([]string, 0, n)
+	gates := make([]*faultnet.Gate, 0, n)
+	spaces := make([]*staging.Space, 0, n)
+	var closers []io.Closer
+	fail := func(err error) (*staging.Pool, []io.Closer, func(step int), error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		space := staging.NewSpace(1, 0, domain)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("spec: staging listen: %w", err))
+		}
+		gate := faultnet.NewGate(ln)
+		var wrapped net.Listener = gate
+		if w.Fault != nil {
+			wrapped = faultnet.Listen(wrapped, w.Fault.Plan())
+		}
+		srv := staging.ServeOn(wrapped, space)
+		srv.Observe(reg)
+		addrs = append(addrs, ln.Addr().String())
+		gates = append(gates, gate)
+		spaces = append(spaces, space)
+		closers = append(closers, srv)
+	}
+	pool, err := staging.NewPool(addrs, domain, staging.PoolOptions{
+		Replicas: max(w.StagingReplicas, 1),
+		Client: staging.ClientOptions{
+			// One retry per op: the pool's circuit breaker is the resilience
+			// layer here, so a dead endpoint should trip it quickly instead of
+			// burning a deep per-op retry budget.
+			OpTimeout:   2 * time.Second,
+			MaxRetries:  1,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  10 * time.Millisecond,
+		},
+		Events:  em,
+		Metrics: reg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, pool)
+	var after func(step int)
+	if k := w.StagingKill; k != nil {
+		gate, space := gates[k.Server], spaces[k.Server]
+		after = func(step int) {
+			if step == k.AtStep {
+				gate.Kill()
+				space.Clear()
+			}
+			if k.ReviveStep > 0 && step == k.ReviveStep {
+				gate.Revive()
+			}
+		}
+	}
+	return pool, closers, after, nil
 }
 
 // BoundMetricsAddr returns the actual metrics listen address after Build

@@ -1,0 +1,510 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
+)
+
+// Pool is a replicated, sharded client over N TCP staging servers — the
+// multi-node data plane the single-server deployment shape lacked. Each
+// block is routed to a primary endpoint by the Morton code of its center
+// (the same space-filling-curve bucketing the in-process Space uses for its
+// shards) and replicated to the next K−1 endpoints in ring order, so one
+// server crash leaves every block with a surviving copy as long as K > 1.
+//
+// The pool tracks per-endpoint health with a consecutive-failure circuit
+// breaker: an endpoint that fails FailureThreshold operations in a row is
+// taken out of rotation (endpoint_down), and while it is down reads of its
+// shard fail over to replicas (failover_get) and writes land only on the
+// survivors. Every ProbeEvery skipped operations the breaker half-opens and
+// probes the endpoint with a cheap stat round trip; when the probe succeeds
+// the pool runs an anti-entropy repair pass — re-replicating every live
+// (variable, version) the endpoint should hold from surviving peers — and
+// only then marks it healthy again (repair, endpoint_up).
+//
+// An operation fails only when every replica of the data is gone: a Put that
+// no endpoint stored, or a shard read whose primary and replicas are all
+// unreachable, returns ErrStagingUnavailable, and the workflow above
+// degrades that step to in-situ execution exactly as with a single dead
+// server. While at least one replica survives, failures are invisible to
+// the caller.
+//
+// All operations run synchronously under one mutex on the caller's
+// goroutine, so with a deterministic crash schedule the emitted event
+// sequence is reproducible byte for byte.
+type Pool struct {
+	domain   grid.Box
+	replicas int
+	thresh   int
+	probeEvn int
+	events   *obs.Emitter
+
+	mFailovers  *obs.Counter
+	mRepairs    *obs.Counter
+	mRepaired   *obs.Counter
+	mDowns      *obs.Counter
+	mHealthy    *obs.Gauge
+	mSkippedOps *obs.Counter
+
+	mu   sync.Mutex
+	eps  []*endpoint
+	live map[string]map[int]struct{} // var -> versions with data in the pool
+}
+
+// endpoint is one staging server plus its circuit-breaker state.
+type endpoint struct {
+	idx      int
+	client   *Client
+	down     bool
+	failures int // consecutive transport failures
+	skipped  int // operations skipped while down; drives half-open probes
+}
+
+// PoolOptions tunes the pool. The zero value selects the defaults noted on
+// each field.
+type PoolOptions struct {
+	// Replicas is how many endpoints hold each block, primary included
+	// (default 1 = no replication; capped at the endpoint count).
+	Replicas int
+
+	// FailureThreshold is how many consecutive failed operations open an
+	// endpoint's circuit breaker (default 2).
+	FailureThreshold int
+
+	// ProbeEvery is how many operations a down endpoint sits out between
+	// half-open probes (default 2). Probe cadence counts operations, not
+	// wall time, so seeded runs probe at reproducible points.
+	ProbeEvery int
+
+	// Client configures each endpoint's TCP client. Events is ignored: the
+	// pool emits its own endpoint-level events with stable details instead
+	// of per-endpoint transport noise, keeping seeded event logs
+	// byte-identical (raw racy error strings would not be).
+	Client ClientOptions
+
+	// Events receives endpoint_down/endpoint_up/failover_get/repair events.
+	Events *obs.Emitter
+
+	// Metrics, when set, registers the pool's counters and the healthy-
+	// endpoint gauge (xlayer_staging_pool_*) plus each endpoint client's
+	// transport counters.
+	Metrics *obs.Registry
+}
+
+// NewPool builds a pool over the given server addresses. Endpoint clients
+// connect lazily, so unreachable servers surface per operation (and trip the
+// breaker) rather than failing construction. domain must match the
+// workflow's base-level domain: it anchors the Morton routing.
+func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("staging: pool needs at least one endpoint")
+	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Replicas > len(addrs) {
+		return nil, fmt.Errorf("staging: %d replicas exceed %d endpoints", opts.Replicas, len(addrs))
+	}
+	if opts.FailureThreshold < 1 {
+		opts.FailureThreshold = 2
+	}
+	if opts.ProbeEvery < 1 {
+		opts.ProbeEvery = 2
+	}
+	copts := opts.Client
+	copts.Events = nil // see PoolOptions.Client
+	copts.Metrics = opts.Metrics
+	p := &Pool{
+		domain:   domain,
+		replicas: opts.Replicas,
+		thresh:   opts.FailureThreshold,
+		probeEvn: opts.ProbeEvery,
+		events:   opts.Events,
+		live:     make(map[string]map[int]struct{}),
+	}
+	for i, addr := range addrs {
+		p.eps = append(p.eps, &endpoint{idx: i, client: NewClient(addr, copts)})
+	}
+	reg := opts.Metrics
+	p.mFailovers = reg.Counter("xlayer_staging_pool_failover_gets_total",
+		"Shard reads served by a replica because the primary endpoint was unavailable.")
+	p.mRepairs = reg.Counter("xlayer_staging_pool_repairs_total",
+		"Anti-entropy repair passes run when an endpoint rejoined.")
+	p.mRepaired = reg.Counter("xlayer_staging_pool_repaired_blocks_total",
+		"Blocks re-replicated onto rejoining endpoints.")
+	p.mDowns = reg.Counter("xlayer_staging_pool_endpoint_down_total",
+		"Circuit-breaker openings across pool endpoints.")
+	p.mSkippedOps = reg.Counter("xlayer_staging_pool_skipped_ops_total",
+		"Operations not offered to an endpoint because its breaker was open.")
+	p.mHealthy = reg.Gauge("xlayer_staging_pool_healthy_endpoints",
+		"Pool endpoints currently in rotation.")
+	p.mHealthy.Set(float64(len(addrs)))
+	return p, nil
+}
+
+// replicaVar names the replica copies of varName's shard-primary blocks.
+// The primary index is baked into the name so a failover read of one shard
+// never collides with another shard's replicas on the same endpoint ('#' is
+// not produced by any workflow variable name).
+func replicaVar(varName string, primary int) string {
+	return fmt.Sprintf("%s#r%d", varName, primary)
+}
+
+// allRegion covers every level's index space: repair fetches do not know the
+// finest refinement level, so they query everything. Extents stay within
+// int32 for the wire encoding.
+var allRegion = grid.NewBox(grid.IV(-(1<<30), -(1<<30), -(1<<30)), grid.IV(1<<30, 1<<30, 1<<30))
+
+// NumEndpoints returns the endpoint count.
+func (p *Pool) NumEndpoints() int { return len(p.eps) }
+
+// Replicas returns the replication factor.
+func (p *Pool) Replicas() int { return p.replicas }
+
+// HealthyEndpoints reports how many endpoints are in rotation out of the
+// configured total — the health signal the workflow's monitor samples so
+// the resource layer sees lost staging capacity.
+func (p *Pool) HealthyEndpoints() (healthy, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ep := range p.eps {
+		if !ep.down {
+			healthy++
+		}
+	}
+	return healthy, len(p.eps)
+}
+
+// TransportStats sums the endpoint clients' cumulative retry and reconnect
+// counts (the workflow snapshots these into per-step trace records).
+func (p *Pool) TransportStats() (retries, reconnects int64) {
+	for _, ep := range p.eps {
+		r, rc := ep.client.TransportStats()
+		retries += r
+		reconnects += rc
+	}
+	return retries, reconnects
+}
+
+// Close closes every endpoint client.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, ep := range p.eps {
+		if err := ep.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// route picks the primary endpoint index for a block.
+func (p *Pool) route(b grid.Box) int { return routeIndex(p.domain, b, len(p.eps)) }
+
+// usable reports whether ep may serve an operation right now. A down
+// endpoint sits out ProbeEvery operations, then half-opens: a cheap stat
+// round trip probes the transport, and on success the anti-entropy repair
+// pass runs before the endpoint returns to rotation — a rejoining server
+// is never offered reads it cannot answer.
+func (p *Pool) usable(ep *endpoint) bool {
+	if !ep.down {
+		return true
+	}
+	ep.skipped++
+	p.mSkippedOps.Inc()
+	if ep.skipped < p.probeEvn {
+		return false
+	}
+	ep.skipped = 0
+	if _, err := ep.client.MemUsed(); err != nil {
+		return false
+	}
+	p.repair(ep)
+	ep.down = false
+	ep.failures = 0
+	p.mHealthy.Add(1)
+	p.events.EndpointUp(ep.idx)
+	return true
+}
+
+// opOK resets ep's consecutive-failure count after a clean round trip.
+func (p *Pool) opOK(ep *endpoint) { ep.failures = 0 }
+
+// opFail records a transport failure on ep, opening its breaker at the
+// threshold. Application-level outcomes (ErrNotFound, ErrNoMemory) are
+// clean round trips and must not come through here.
+func (p *Pool) opFail(ep *endpoint) {
+	ep.failures++
+	if !ep.down && ep.failures >= p.thresh {
+		ep.down = true
+		ep.skipped = 0
+		p.mDowns.Inc()
+		p.mHealthy.Add(-1)
+		p.events.EndpointDown(ep.idx, ep.failures)
+	}
+}
+
+// Put stores a block: the primary endpoint gets it under varName, the next
+// Replicas−1 endpoints in ring order get copies under the shard's replica
+// variable. The put succeeds when at least one endpoint stored the block;
+// only a block with no surviving replica at all is a failure.
+func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	primary := p.route(d.Box)
+	n := len(p.eps)
+	stored := 0
+	noMem := false
+	var lastErr error
+	for j := 0; j < p.replicas; j++ {
+		ep := p.eps[(primary+j)%n]
+		name := varName
+		if j > 0 {
+			name = replicaVar(varName, primary)
+		}
+		if !p.usable(ep) {
+			continue
+		}
+		switch err := ep.client.Put(name, version, d); {
+		case err == nil:
+			p.opOK(ep)
+			stored++
+		case errors.Is(err, ErrNoMemory):
+			p.opOK(ep)
+			noMem = true
+		default:
+			lastErr = err
+			p.opFail(ep)
+		}
+	}
+	if stored == 0 {
+		if noMem {
+			return ErrNoMemory
+		}
+		if lastErr != nil {
+			return lastErr
+		}
+		return fmt.Errorf("%w: no pool endpoint could store the block", ErrStagingUnavailable)
+	}
+	p.recordLive(varName, version)
+	return nil
+}
+
+// GetBlocks assembles the stored blocks of varName at version intersecting
+// region from every shard, failing a shard's read over to its replicas when
+// the primary is unavailable. It returns ErrStagingUnavailable only when
+// some shard has no reachable replica at all — the "all replicas of a block
+// are gone" condition the workflow treats as a staging failure.
+func (p *Pool) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*field.BoxData
+	for shard := range p.eps {
+		blocks, err := p.getShard(shard, varName, version, region)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blocks...)
+	}
+	if len(out) == 0 {
+		return nil, ErrNotFound
+	}
+	// Deterministic assembly order regardless of which endpoints answered.
+	sort.Slice(out, func(i, j int) bool {
+		return grid.MortonCode(out[i].Box.Lo.Sub(p.domain.Lo).Max(grid.Zero)) <
+			grid.MortonCode(out[j].Box.Lo.Sub(p.domain.Lo).Max(grid.Zero))
+	})
+	return out, nil
+}
+
+// getShard reads one shard's blocks from its primary, falling back through
+// the replica ring. A NotFound answer is authoritative (the shard holds
+// nothing in the region); only transport failures fall through.
+func (p *Pool) getShard(shard int, varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	n := len(p.eps)
+	var lastErr error
+	for j := 0; j < p.replicas; j++ {
+		ep := p.eps[(shard+j)%n]
+		name := varName
+		if j > 0 {
+			name = replicaVar(varName, shard)
+		}
+		if !p.usable(ep) {
+			continue
+		}
+		blocks, err := ep.client.GetBlocks(name, version, region)
+		switch {
+		case err == nil:
+			p.opOK(ep)
+			if j > 0 {
+				p.mFailovers.Inc()
+				p.events.FailoverGet(shard, ep.idx)
+			}
+			return blocks, nil
+		case errors.Is(err, ErrNotFound):
+			p.opOK(ep)
+			return nil, nil
+		default:
+			lastErr = err
+			p.opFail(ep)
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: shard %d lost all replicas: %v", ErrStagingUnavailable, shard, lastErr)
+	}
+	return nil, fmt.Errorf("%w: shard %d lost all replicas", ErrStagingUnavailable, shard)
+}
+
+// DropBefore evicts versions of varName below version on every reachable
+// endpoint — primary copies and the replica variables each endpoint hosts —
+// returning total bytes freed across the pool (replicas counted). Eviction
+// is best-effort: down endpoints are skipped (a crashed server's state is
+// gone or stale anyway, and rejoin repair only restores live versions).
+func (p *Pool) DropBefore(varName string, version int) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.eps)
+	var freed int64
+	for i, ep := range p.eps {
+		if !p.usable(ep) {
+			continue
+		}
+		names := []string{varName}
+		for j := 1; j < p.replicas; j++ {
+			names = append(names, replicaVar(varName, (i-j+n)%n))
+		}
+		for _, name := range names {
+			f, err := ep.client.DropBefore(name, version)
+			if err != nil {
+				p.opFail(ep)
+				break
+			}
+			p.opOK(ep)
+			freed += f
+		}
+	}
+	p.dropLive(varName, version)
+	return freed, nil
+}
+
+// recordLive marks (varName, version) as held by the pool — the manifest
+// rejoin repair replays.
+func (p *Pool) recordLive(varName string, version int) {
+	vs := p.live[varName]
+	if vs == nil {
+		vs = make(map[int]struct{})
+		p.live[varName] = vs
+	}
+	vs[version] = struct{}{}
+}
+
+// dropLive forgets versions below version.
+func (p *Pool) dropLive(varName string, version int) {
+	vs := p.live[varName]
+	for v := range vs {
+		if v < version {
+			delete(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		delete(p.live, varName)
+	}
+}
+
+// repair is the anti-entropy pass run when a down endpoint's probe
+// succeeds, before it rejoins rotation: for every live (variable, version)
+// in the pool's manifest, the blocks the endpoint should hold — its own
+// shard's primaries plus the replica copies it hosts for its ring
+// predecessors — are fetched from surviving peers, the endpoint's stale
+// copies of those variables are dropped (re-putting is then idempotent even
+// when the crash did not lose the backing store), and the fetched blocks
+// are re-put. Versions whose every other replica also died are unrepairable
+// and silently lost, exactly like a single-server crash.
+func (p *Pool) repair(ep *endpoint) {
+	n := len(p.eps)
+	vars := make([]string, 0, len(p.live))
+	for v := range p.live {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	// Shards this endpoint participates in: its own (as primary) and its
+	// ring predecessors' (as replica holder).
+	type role struct {
+		shard int
+		name  func(varName string) string
+	}
+	roles := []role{{ep.idx, func(v string) string { return v }}}
+	for j := 1; j < p.replicas; j++ {
+		shard := (ep.idx - j + n) % n
+		roles = append(roles, role{shard, func(v string) string { return replicaVar(v, shard) }})
+	}
+
+	blocks, bytes := 0, int64(0)
+	for _, varName := range vars {
+		versions := make([]int, 0, len(p.live[varName]))
+		for ver := range p.live[varName] {
+			versions = append(versions, ver)
+		}
+		sort.Ints(versions)
+		for _, r := range roles {
+			name := r.name(varName)
+			// Fetch everything restorable first, then wipe, then re-put:
+			// a fetch failure must not destroy copies the endpoint may
+			// still hold.
+			restore := make(map[int][]*field.BoxData, len(versions))
+			for _, ver := range versions {
+				restore[ver] = p.fetchShard(r.shard, ep, varName, ver)
+			}
+			ep.client.DropBefore(name, 1<<30)
+			for _, ver := range versions {
+				for _, b := range restore[ver] {
+					if err := ep.client.Put(name, ver, b); err == nil {
+						blocks++
+						bytes += b.Bytes()
+					}
+				}
+			}
+		}
+	}
+	p.mRepairs.Inc()
+	p.mRepaired.Add(float64(blocks))
+	p.events.Repair(ep.idx, blocks, bytes)
+}
+
+// fetchShard reads one shard's blocks of varName@version from any healthy
+// member of the shard's replica set other than the endpoint being repaired.
+// Down peers are not probed here (probing recurses into repair); a shard
+// with no reachable source yields nothing.
+func (p *Pool) fetchShard(shard int, exclude *endpoint, varName string, version int) []*field.BoxData {
+	n := len(p.eps)
+	for j := 0; j < p.replicas; j++ {
+		src := p.eps[(shard+j)%n]
+		if src == exclude || src.down {
+			continue
+		}
+		name := varName
+		if j > 0 {
+			name = replicaVar(varName, shard)
+		}
+		blocks, err := src.client.GetBlocks(name, version, allRegion)
+		switch {
+		case err == nil:
+			p.opOK(src)
+			return blocks
+		case errors.Is(err, ErrNotFound):
+			p.opOK(src)
+			return nil
+		default:
+			p.opFail(src)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package staging
+
+import (
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"crosslayer/internal/faultnet"
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
+)
+
+// poolRig is a pool over n real loopback servers, each behind a kill gate.
+type poolRig struct {
+	pool   *Pool
+	gates  []*faultnet.Gate
+	spaces []*Space
+}
+
+func newPoolRig(t *testing.T, n, replicas int) *poolRig {
+	t.Helper()
+	rig := &poolRig{}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		sp := NewSpace(1, 0, dom())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := faultnet.NewGate(ln)
+		srv := ServeOn(g, sp)
+		t.Cleanup(func() { srv.Close() })
+		rig.gates = append(rig.gates, g)
+		rig.spaces = append(rig.spaces, sp)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	p, err := NewPool(addrs, dom(), PoolOptions{
+		Replicas:         replicas,
+		FailureThreshold: 1,
+		ProbeEvery:       1,
+		Client: ClientOptions{
+			OpTimeout:   2 * time.Second,
+			MaxRetries:  -1, // fail fast; the breaker is the resilience layer
+			BackoffBase: time.Millisecond,
+			BackoffMax:  time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	rig.pool = p
+	return rig
+}
+
+// kill models a full server crash: transport severed and state lost.
+func (r *poolRig) kill(i int) {
+	r.gates[i].Kill()
+	r.spaces[i].Clear()
+}
+
+// spread returns blocks whose centers cover the routing domain, so every
+// endpoint owns at least one shard's data.
+func spread() []*field.BoxData {
+	var out []*field.BoxData
+	v := 1.0
+	for _, lo := range []grid.IntVect{
+		grid.IV(0, 0, 0), grid.IV(56, 0, 0), grid.IV(0, 56, 0), grid.IV(0, 0, 56),
+		grid.IV(56, 56, 0), grid.IV(56, 0, 56), grid.IV(0, 56, 56), grid.IV(56, 56, 56),
+		grid.IV(24, 24, 24), grid.IV(40, 24, 40),
+	} {
+		out = append(out, block(lo, 8, v))
+		v++
+	}
+	return out
+}
+
+func putAll(t *testing.T, p *Pool, version int, blocks []*field.BoxData) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := p.Put("rho", version, b); err != nil {
+			t.Fatalf("put %v: %v", b.Box.Lo, err)
+		}
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, dom(), PoolOptions{}); err == nil {
+		t.Error("no endpoints: want error")
+	}
+	if _, err := NewPool([]string{"a", "b"}, dom(), PoolOptions{Replicas: 3}); err == nil {
+		t.Error("replicas > endpoints: want error")
+	}
+}
+
+func TestPoolRoundTripAcrossShards(t *testing.T) {
+	rig := newPoolRig(t, 3, 2)
+	blocks := spread()
+	putAll(t, rig.pool, 0, blocks)
+	got, err := rig.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d (replica duplication or loss)", len(got), len(blocks))
+	}
+	healthy, total := rig.pool.HealthyEndpoints()
+	if healthy != 3 || total != 3 {
+		t.Errorf("health = %d/%d, want 3/3", healthy, total)
+	}
+}
+
+func TestPoolFailoverGet(t *testing.T) {
+	rig := newPoolRig(t, 3, 2)
+	blocks := spread()
+	putAll(t, rig.pool, 0, blocks)
+	rig.kill(1)
+	got, err := rig.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatalf("get with one dead server: %v", err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+	if healthy, _ := rig.pool.HealthyEndpoints(); healthy != 2 {
+		t.Errorf("healthy = %d, want 2 (breaker should have opened)", healthy)
+	}
+}
+
+func TestPoolAllReplicasLostIsUnavailable(t *testing.T) {
+	rig := newPoolRig(t, 3, 1) // no replication
+	blocks := spread()
+	putAll(t, rig.pool, 0, blocks)
+	rig.kill(0)
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); !errors.Is(err, ErrStagingUnavailable) {
+		t.Fatalf("err = %v, want ErrStagingUnavailable", err)
+	}
+}
+
+func TestPoolPutSurvivesOneDeadEndpoint(t *testing.T) {
+	rig := newPoolRig(t, 3, 2)
+	rig.kill(2)
+	blocks := spread()
+	putAll(t, rig.pool, 0, blocks) // every put must land on a survivor
+	got, err := rig.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+}
+
+func TestPoolRejoinRepair(t *testing.T) {
+	sink := obs.NewRingSink(256)
+	rig := newPoolRig(t, 3, 2)
+	rig.pool.events = obs.NewEmitter(sink)
+
+	blocks := spread()
+	putAll(t, rig.pool, 0, blocks)
+	rig.kill(1)
+
+	// Drive the breaker open and burn skip cycles, then revive. The next
+	// offered op half-opens the breaker, probes, repairs, and rejoins.
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); err != nil {
+		t.Fatal(err)
+	}
+	rig.gates[1].Revive()
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); err != nil {
+		t.Fatal(err)
+	}
+	if healthy, _ := rig.pool.HealthyEndpoints(); healthy != 3 {
+		t.Fatalf("healthy = %d, want 3 after rejoin", healthy)
+	}
+
+	// The revived server came back empty; repair must have restored every
+	// block it is responsible for. Kill the OTHER two servers: if repair
+	// worked, server 1 alone can still answer for its shard and the shards
+	// it replicates.
+	rig.kill(0)
+	rig.kill(2)
+	got, err := rig.pool.GetBlocks("rho", 0, dom())
+	if err == nil {
+		for _, b := range got {
+			if b.Box.NumCells() == 0 {
+				t.Error("empty block after repair")
+			}
+		}
+	}
+	// Server 1 holds shard 1 primaries and shard 0 replicas; shard 2 is
+	// genuinely gone, so the pool-wide get may fail — what must hold is
+	// that shard 1's own data survived on the repaired server.
+	sp1 := rig.spaces[1]
+	if sp1.MemUsed() == 0 {
+		t.Error("repair restored nothing onto the rejoined server")
+	}
+
+	var ups, repairs int
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case obs.KindEndpointUp:
+			ups++
+		case obs.KindRepair:
+			repairs++
+		}
+	}
+	if ups == 0 || repairs == 0 {
+		t.Errorf("events: %d endpoint_up, %d repair; want >= 1 of each", ups, repairs)
+	}
+}
+
+func TestPoolDropBeforeEvictsReplicas(t *testing.T) {
+	rig := newPoolRig(t, 3, 2)
+	putAll(t, rig.pool, 0, spread())
+	putAll(t, rig.pool, 1, spread())
+	freed, err := rig.pool.DropBefore("rho", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Error("drop freed nothing")
+	}
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("version 0 after drop: err = %v, want ErrNotFound", err)
+	}
+	if got, err := rig.pool.GetBlocks("rho", 1, dom()); err != nil || len(got) == 0 {
+		t.Errorf("version 1 after drop: %d blocks, err = %v", len(got), err)
+	}
+}
+
+// TestRouteIndexOverflow is the regression test for the uint64 overflow in
+// the Morton-scaled routing: with a domain whose maximum Morton code exceeds
+// 2^60, code*n overflows 64 bits for high-end centers and (before the
+// math/bits fix) routed them to the wrong shard.
+func TestRouteIndexOverflow(t *testing.T) {
+	// 2^21 cells per axis is the Morton encoding's full 63-bit range:
+	// maxCode = 2^63.
+	big21 := 1 << 21
+	domain := grid.NewBox(grid.IV(0, 0, 0), grid.IV(big21-1, big21-1, big21-1))
+	maxCode := new(big.Int).Lsh(big.NewInt(1), 63)
+
+	for _, n := range []int{2, 3, 5, 7, 16} {
+		for _, c := range []grid.IntVect{
+			grid.IV(0, 0, 0),
+			grid.IV(big21/2, big21/2, big21/2),
+			grid.IV(big21-4, big21-4, big21-4),
+			grid.IV(big21-4, 0, big21-4),
+			grid.IV(3, big21-4, 7),
+		} {
+			b := grid.BoxFromSize(c, grid.IV(2, 2, 2))
+			got := routeIndex(domain, b, n)
+
+			// Reference: floor(code * n / maxCode) in arbitrary precision.
+			center := b.Center().Sub(domain.Lo).Max(grid.Zero)
+			code := new(big.Int).SetUint64(grid.MortonCode(center))
+			want := new(big.Int).Mul(code, big.NewInt(int64(n)))
+			want.Div(want, maxCode)
+			if want.Int64() >= int64(n) {
+				want.SetInt64(int64(n) - 1)
+			}
+			if int64(got) != want.Int64() {
+				t.Errorf("n=%d center=%v: routeIndex = %d, want %d", n, c, got, want.Int64())
+			}
+		}
+	}
+
+	// The high corner must land on the last shard, not wrap around to a
+	// low one (the overflow symptom).
+	b := grid.BoxFromSize(grid.IV(big21-2, big21-2, big21-2), grid.IV(2, 2, 2))
+	if got := routeIndex(domain, b, 4); got != 3 {
+		t.Errorf("high-corner shard = %d, want 3", got)
+	}
+}
+
+func TestSpaceClear(t *testing.T) {
+	sp := NewSpace(2, 0, dom())
+	if err := sp.Put("rho", 0, block(grid.IV(0, 0, 0), 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sp.Clear()
+	if sp.MemUsed() != 0 {
+		t.Errorf("MemUsed after Clear = %d", sp.MemUsed())
+	}
+	if _, err := sp.Get("rho", 0, dom()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after Clear: err = %v, want ErrNotFound", err)
+	}
+}

@@ -16,6 +16,7 @@ package staging
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -142,19 +143,36 @@ func (sp *Space) NumServers() int { return len(sp.servers) }
 // route picks the shard for a block: Morton code of the box center scaled
 // into the shard range, preserving spatial locality across shards.
 func (sp *Space) route(b grid.Box) *server {
-	c := b.Center().Sub(sp.domain.Lo).Max(grid.Zero)
+	return sp.servers[routeIndex(sp.domain, b, len(sp.servers))]
+}
+
+// routeIndex maps a block to a shard index in [0, n): the Morton code of the
+// box center, scaled over the shard range so contiguous curve segments land
+// on the same shard. The same routing drives the in-process Space and the
+// replicated Pool, so both agree on which endpoint owns a block.
+func routeIndex(domain grid.Box, b grid.Box, n int) int {
+	c := b.Center().Sub(domain.Lo).Max(grid.Zero)
 	code := grid.MortonCode(c)
 	// Codes of in-domain points span [0, MortonCode(maxCorner)]; scale that
-	// range over the shards.
-	maxCode := grid.MortonCode(sp.domain.Size().Sub(grid.Unit).Max(grid.Zero)) + 1
-	idx := int(code % uint64(len(sp.servers)))
+	// range over the shards. code*n is computed in 128 bits: Morton codes
+	// use up to 63 bits, so the plain 64-bit product overflows for domains
+	// larger than ~2^20 cells per side and misroutes blocks.
+	maxCode := grid.MortonCode(domain.Size().Sub(grid.Unit).Max(grid.Zero)) + 1
+	idx := int(code % uint64(n))
 	if maxCode > 0 {
-		idx = int(code * uint64(len(sp.servers)) / maxCode)
-		if idx >= len(sp.servers) {
-			idx = len(sp.servers) - 1
+		hi, lo := bits.Mul64(code, uint64(n))
+		if hi >= maxCode {
+			// code >= maxCode (an out-of-domain center); clamp below.
+			idx = n
+		} else {
+			q, _ := bits.Div64(hi, lo, maxCode)
+			idx = int(q)
+		}
+		if idx >= n {
+			idx = n - 1
 		}
 	}
-	return sp.servers[idx]
+	return idx
 }
 
 // Put stores a block of varName at version. The block is routed to one
@@ -236,6 +254,20 @@ func (sp *Space) collect(varName string, version int, region grid.Box) []*Object
 			grid.MortonCode(bj.Lo.Sub(sp.domain.Lo).Max(grid.Zero))
 	})
 	return out
+}
+
+// Clear discards every stored object across all shards — the data-loss half
+// of a modeled server crash (the crash harness severs the transport with a
+// faultnet.Gate and wipes the backing space with Clear, so a rejoining
+// server comes back empty and must be repaired by its pool's anti-entropy
+// pass).
+func (sp *Space) Clear() {
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		s.objects = make(map[string][]*Object)
+		s.memUsed = 0
+		s.mu.Unlock()
+	}
 }
 
 // DropBefore evicts every block of varName with version < version,
