@@ -33,6 +33,7 @@ race:
 fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

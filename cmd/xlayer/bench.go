@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crosslayer"
+)
+
+// runBench executes the benchmark harness, writes the report, and — when a
+// baseline is given — applies the regression gate: a speedup metric more
+// than tol below the baseline is a hard failure (exit 1), wall-clock drift
+// only warns (raw ns/op is machine-dependent).
+func runBench(out, baseline string, tol float64, short bool) error {
+	rep, err := crosslayer.RunBench(crosslayer.BenchOptions{Short: short, Log: os.Stdout})
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := writeArtifact(out, func(f *os.File) error {
+			return rep.Write(f)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	if baseline == "" {
+		return nil
+	}
+	base, err := crosslayer.ReadBenchReport(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	failures, warnings := crosslayer.CompareBench(base, rep, tol)
+	for _, w := range warnings {
+		fmt.Println("warning:", w)
+	}
+	for _, f := range failures {
+		fmt.Println("FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: %d regression(s) vs %s", len(failures), baseline)
+	}
+	fmt.Printf("bench: no regressions vs %s (tol %.0f%%)\n", baseline, tol*100)
+	return nil
+}

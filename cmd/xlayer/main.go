@@ -6,6 +6,7 @@
 //	xlayer <experiment> [-steps N]
 //	xlayer run [-app gas|advdiff] [-placement adaptive|insitu|intransit]
 //	           [-objective tts|util|movement] [-steps N] [-cores N] [-staging M]
+//	xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]
 //
 // Experiments: fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2,
 // all. fig8 is printed as part of fig7, and fig11/table2 as part of fig10
@@ -44,9 +45,14 @@ func main() {
 	stagingServers := fs.Int("staging-servers", 1, "shard the TCP staging path across N loopback servers (run mode; >1 implies -staging-tcp)")
 	stagingReplicas := fs.Int("staging-replicas", 1, "replicate each block to K pool servers (run mode; needs -staging-servers >= K)")
 	stagingKill := fs.String("staging-kill", "", "crash one pool server mid-run, e.g. server=1,at=3,revive=6 (run mode; needs -staging-servers > 1)")
+	stagingConc := fs.Int("staging-concurrency", 0, "in-flight staging ops per step; >1 enables the parallel data path (run mode; needs -staging-servers > 1)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
 	eventsPath := fs.String("events", "", "stream structured runtime events as JSON Lines to this file (run mode); event log to summarize (report mode)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on this address during the run, e.g. :9090 or :0 (run mode)")
+	benchOut := fs.String("out", "BENCH_pr4.json", "write the benchmark report to this file (bench mode)")
+	benchBaseline := fs.String("baseline", "", "compare against this committed baseline report and fail on regression (bench mode)")
+	benchTol := fs.Float64("tol", 0.20, "allowed fractional speedup regression vs the baseline (bench mode)")
+	benchShort := fs.Bool("short", false, "trim workload step counts — the PR-gate configuration (bench mode)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -93,14 +99,19 @@ func main() {
 			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
 			stagingTCP: *stagingTCP, fault: *fault,
 			stagingServers: *stagingServers, stagingReplicas: *stagingReplicas,
-			stagingKill: *stagingKill,
-			eventsPath:  *eventsPath, metricsAddr: *metricsAddr,
+			stagingKill: *stagingKill, stagingConcurrency: *stagingConc,
+			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
 	case "report":
 		if err := runReport(*jsonlPath, *csvPath, *eventsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	case "bench":
+		if err := runBench(*benchOut, *benchBaseline, *benchTol, *benchShort); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
@@ -111,15 +122,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|bench> [flags]
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
            -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
            -staging-servers N  -staging-replicas K  -staging-kill server=1,at=3,revive=6
+           -staging-concurrency C (parallel staging data path; needs -staging-servers > 1)
            -events FILE (structured event stream)  -metrics-addr ADDR (Prometheus)
 runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
-report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl`)
+report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl
+bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]`)
 }
 
 // runSpec executes a declarative workflow specification.
@@ -157,6 +170,7 @@ type runOpts struct {
 	fault                           string
 	stagingServers, stagingReplicas int
 	stagingKill                     string
+	stagingConcurrency              int
 	eventsPath, metricsAddr         string
 }
 
@@ -232,11 +246,15 @@ func runWorkflow(o runOpts) error {
 		return fmt.Errorf("unknown app %q", app)
 	}
 
+	if o.stagingConcurrency > 1 && o.stagingServers <= 1 {
+		return fmt.Errorf("-staging-concurrency needs -staging-servers > 1")
+	}
 	cfg := crosslayer.Config{
-		Machine:      crosslayer.Titan(),
-		SimCores:     cores,
-		StagingCores: staging,
-		CellScale:    1000,
+		Machine:            crosslayer.Titan(),
+		SimCores:           cores,
+		StagingCores:       staging,
+		StagingConcurrency: o.stagingConcurrency,
+		CellScale:          1000,
 		Hints: crosslayer.Hints{
 			Mode:         crosslayer.AppRangeBased,
 			FactorPhases: []crosslayer.FactorPhase{{FromStep: 0, Factors: []int{2, 4}}},
@@ -466,7 +484,8 @@ func dialPoolStaging(o runOpts, dom crosslayer.Box, em *crosslayer.EventEmitter,
 		closers = append(closers, srv)
 	}
 	pool, err := crosslayer.NewStagingPool(addrs, dom, crosslayer.StagingPoolOptions{
-		Replicas: o.stagingReplicas,
+		Replicas:    o.stagingReplicas,
+		Concurrency: o.stagingConcurrency,
 		Client: crosslayer.StagingClientOptions{
 			OpTimeout:   2 * time.Second,
 			MaxRetries:  1,

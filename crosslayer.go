@@ -44,6 +44,7 @@ import (
 
 	"crosslayer/internal/amr"
 	"crosslayer/internal/analysis"
+	"crosslayer/internal/bench"
 	"crosslayer/internal/core"
 	"crosslayer/internal/entropy"
 	"crosslayer/internal/experiments"
@@ -342,6 +343,27 @@ func NewStagingPool(addrs []string, domain Box, opts StagingPoolOptions) (*Stagi
 // NewFaultGate wraps a listener with a kill switch; see FaultGate.
 func NewFaultGate(ln net.Listener) *FaultGate { return faultnet.NewGate(ln) }
 
+// Pool content manifests: canonical snapshots of what a pool believes it
+// holds, with a stable binary codec for audits across process boundaries.
+type (
+	// StagingManifest lists every (variable, version) a pool holds and how
+	// many distinct blocks each carries, sorted canonically.
+	StagingManifest = staging.Manifest
+	// StagingManifestEntry is one manifest row.
+	StagingManifestEntry = staging.ManifestEntry
+)
+
+// EncodeStagingManifest writes a manifest in its canonical binary form.
+func EncodeStagingManifest(w io.Writer, m StagingManifest) error {
+	return staging.EncodeManifest(w, m)
+}
+
+// DecodeStagingManifest parses the canonical binary form back into a
+// manifest, rejecting malformed or non-canonical input.
+func DecodeStagingManifest(r io.Reader) (StagingManifest, error) {
+	return staging.DecodeManifest(r)
+}
+
 // ParseStagingKill parses the crash-schedule shorthand
 // "server=1,at=3,revive=6" (revive optional; empty string yields nil).
 func ParseStagingKill(s string) (*StagingKillSpec, error) { return spec.ParseKill(s) }
@@ -468,3 +490,31 @@ func Fig9ResourceAdaptation(steps int) *Fig9Result {
 
 // Fig10CrossLayer regenerates Figs. 10, 11 and Table 2.
 func Fig10CrossLayer(steps int) *Fig10Result { return experiments.Fig10CrossLayer(steps) }
+
+// Reproducible benchmark harness (`xlayer bench`): fixed-seed figure
+// workloads plus the staging pool's serialized-vs-concurrent data paths,
+// reported in a stable JSON schema for PR-over-PR regression gating.
+type (
+	// BenchReport is one harness run (schema xlayer-bench/v1).
+	BenchReport = bench.Report
+	// BenchEntry is one benchmark result inside a report.
+	BenchEntry = bench.Entry
+	// BenchOptions tunes a harness run.
+	BenchOptions = bench.Options
+)
+
+// BenchSchema identifies the benchmark report format.
+const BenchSchema = bench.Schema
+
+// RunBench executes the full benchmark harness.
+func RunBench(opts BenchOptions) (*BenchReport, error) { return bench.Run(opts) }
+
+// ReadBenchReport decodes the benchmark report at path.
+func ReadBenchReport(path string) (*BenchReport, error) { return bench.ReadFile(path) }
+
+// CompareBench gates a fresh report against a baseline: dimensionless
+// speedup metrics regress hard (beyond tol, default 0.20), wall-clock
+// drifts only warn.
+func CompareBench(base, cur *BenchReport, tol float64) (failures, warnings []string) {
+	return bench.Compare(base, cur, tol)
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: Schema,
+		Short:  true,
+		Entries: []Entry{
+			{Name: "fig9-pool/serialized", N: 6, NsPerOp: 4e8,
+				Metrics: map[string]float64{"steps_per_sec": 2.5}},
+			{Name: "fig9-pool/concurrent", N: 6, NsPerOp: 2e8,
+				Metrics: map[string]float64{"steps_per_sec": 5.0}},
+			{Name: "fig9-pool/speedup", N: 1,
+				Metrics: map[string]float64{"speedup": 2.0}},
+		},
+	}
+}
+
+func TestReportWriteDecodeRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || !got.Short || len(got.Entries) != 3 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	e, ok := got.Entry("fig9-pool/speedup")
+	if !ok || e.Metrics["speedup"] != 2.0 {
+		t.Fatalf("speedup entry lost: %+v (found %v)", e, ok)
+	}
+	if _, ok := got.Entry("no-such-entry"); ok {
+		t.Error("Entry found a name that does not exist")
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema": "other/v9", "entries": []}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestCompareGatesSpeedupOnly(t *testing.T) {
+	base := sampleReport()
+
+	// Identical report: clean.
+	if failures, warnings := Compare(base, sampleReport(), 0.20); len(failures)+len(warnings) != 0 {
+		t.Fatalf("identical reports produced failures %v warnings %v", failures, warnings)
+	}
+
+	// Speedup within tolerance: clean. 2.0 -> 1.7 is a 15% drop.
+	cur := sampleReport()
+	cur.Entries[2].Metrics["speedup"] = 1.7
+	if failures, _ := Compare(base, cur, 0.20); len(failures) != 0 {
+		t.Fatalf("15%% drop inside 20%% tolerance failed: %v", failures)
+	}
+
+	// Speedup beyond tolerance: hard failure.
+	cur = sampleReport()
+	cur.Entries[2].Metrics["speedup"] = 1.5
+	failures, _ := Compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "speedup") {
+		t.Fatalf("25%% drop outside 20%% tolerance: failures = %v", failures)
+	}
+
+	// Wall-clock regression alone only warns: ns/op tripled, speedup held.
+	cur = sampleReport()
+	for i := range cur.Entries {
+		cur.Entries[i].NsPerOp *= 3
+	}
+	failures, warnings := Compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("machine-dependent ns/op drift failed the gate: %v", failures)
+	}
+	if len(warnings) == 0 {
+		t.Fatal("3x ns/op drift raised no warning")
+	}
+
+	// Non-speedup metric regressions are not gated.
+	cur = sampleReport()
+	cur.Entries[1].Metrics["steps_per_sec"] = 0.1
+	if failures, _ := Compare(base, cur, 0.20); len(failures) != 0 {
+		t.Fatalf("raw steps_per_sec drift failed the gate: %v", failures)
+	}
+}
+
+func TestCompareFailsOnMissingEntries(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Entries = cur.Entries[:2] // speedup entry gone
+	failures, _ := Compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing entry: failures = %v", failures)
+	}
+
+	cur = sampleReport()
+	delete(cur.Entries[2].Metrics, "speedup")
+	failures, _ = Compare(base, cur, 0.20)
+	if len(failures) != 1 {
+		t.Fatalf("missing speedup metric: failures = %v", failures)
+	}
+}
+
+func TestCompareDefaultTolerance(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Entries[2].Metrics["speedup"] = 1.7 // 15% drop
+	if failures, _ := Compare(base, cur, 0); len(failures) != 0 {
+		t.Fatalf("tol 0 must default to 0.20, got failures %v", failures)
+	}
+	cur.Entries[2].Metrics["speedup"] = 1.5 // 25% drop
+	if failures, _ := Compare(base, cur, 0); len(failures) != 1 {
+		t.Fatal("tol 0 default did not gate a 25% drop")
+	}
+}
+
+// TestRunShortEmitsCompleteReport executes the real harness in short mode:
+// the report must carry the four figure workloads, both pool data paths,
+// and a positive speedup ratio. (The ≥1.5x acceptance bar is asserted by
+// the committed-baseline CI gate, not here — a loaded test machine must
+// not flake the suite.)
+func TestRunShortEmitsCompleteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	rep, err := Run(Options{Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig1-peak-memory", "fig5-app-adaptation", "fig9-resource", "fig10-cross-layer",
+		"fig9-pool/serialized", "fig9-pool/concurrent", "fig9-pool/speedup",
+	} {
+		if _, ok := rep.Entry(name); !ok {
+			t.Errorf("report lacks entry %q", name)
+		}
+	}
+	sp, _ := rep.Entry("fig9-pool/speedup")
+	if sp.Metrics["speedup"] <= 0 {
+		t.Fatalf("speedup %v not positive", sp.Metrics["speedup"])
+	}
+	ser, _ := rep.Entry("fig9-pool/serialized")
+	conc, _ := rep.Entry("fig9-pool/concurrent")
+	if ser.Metrics["bytes_moved"] != conc.Metrics["bytes_moved"] {
+		t.Errorf("data paths moved different volumes: %v vs %v",
+			ser.Metrics["bytes_moved"], conc.Metrics["bytes_moved"])
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "fmt"
+
+// Compare checks a fresh report against the committed baseline, benchstat
+// style but with a machine-portable gate: raw wall-clock numbers (ns/op,
+// steps/sec) differ between a laptop and a CI runner, so only the
+// dimensionless "speedup" metrics — concurrent vs serialized throughput on
+// the same machine in the same run — are regression-gated. A speedup that
+// falls more than tol below the baseline (default 0.20 = 20%) fails; large
+// wall-clock drifts are reported as warnings only.
+func Compare(base, cur *Report, tol float64) (failures, warnings []string) {
+	if tol <= 0 {
+		tol = 0.20
+	}
+	for _, be := range base.Entries {
+		ce, ok := cur.Entry(be.Name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current report", be.Name))
+			continue
+		}
+		for name, bv := range be.Metrics {
+			if name != "speedup" {
+				continue
+			}
+			cv, ok := ce.Metrics[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %q missing from current report", be.Name, name))
+				continue
+			}
+			if cv < bv*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s regressed %.2f -> %.2f (more than %.0f%% below baseline)",
+					be.Name, name, bv, cv, tol*100))
+			}
+		}
+		if be.NsPerOp > 0 && ce.NsPerOp > 2*be.NsPerOp {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (>2x baseline; machine-dependent, not gated)",
+				be.Name, be.NsPerOp, ce.NsPerOp))
+		}
+	}
+	return failures, warnings
+}

@@ -199,6 +199,12 @@ func (e *Engine) AdaptMiddleware(st PlacementState) (policy.Placement, string) {
 	if !e.plan[policy.MechMiddleware] {
 		return policy.PlaceInTransit, "objective excludes middleware; defaulting in-transit"
 	}
+	// With no staging cores allocated there is no in-transit side to
+	// estimate (the cost model is undefined at M = 0): the work can only
+	// run in-situ.
+	if st.StagingCores < 1 {
+		return policy.PlaceInSitu, "no staging cores allocated"
+	}
 
 	// Eq. 8's memory checks. In-situ needs the reduced copy plus the mesh
 	// on the simulation cores' spare memory; in-transit needs the staging

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"crosslayer/internal/monitor"
+	"crosslayer/internal/policy"
+)
+
+// Table-driven coverage of the middleware policy's guard rails (Eqs. 4–8):
+// the M = 0 guard, the exact staging-memory boundary, and the idle-staging
+// tie bias the MinDataMovement objective introduces.
+func TestAdaptMiddlewareTable(t *testing.T) {
+	healthy := monitor.Sample{MemAvailPerRank: []int64{1 << 30}, Imbalance: 1}
+	cases := []struct {
+		name       string
+		objective  policy.Objective
+		st         PlacementState
+		want       policy.Placement
+		wantReason string // substring; "" = any
+	}{
+		{
+			name:      "zero staging cores forces in-situ",
+			objective: policy.MinTimeToSolution,
+			st: PlacementState{
+				ReducedBytes: 1 << 20, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: 0,
+			},
+			want:       policy.PlaceInSitu,
+			wantReason: "no staging cores",
+		},
+		{
+			name:      "negative staging cores forces in-situ",
+			objective: policy.MinTimeToSolution,
+			st: PlacementState{
+				ReducedBytes: 1 << 20, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: -3,
+			},
+			want:       policy.PlaceInSitu,
+			wantReason: "no staging cores",
+		},
+		{
+			name:      "staging data exactly at capacity still ships",
+			objective: policy.MinTimeToSolution,
+			st: PlacementState{
+				ReducedBytes: 100, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: 64,
+				StagingMemUsed: 900, StagingMemCap: 1000, // 900 + 100 == cap
+			},
+			want: policy.PlaceInTransit,
+		},
+		{
+			name:      "one byte over staging capacity goes in-situ",
+			objective: policy.MinTimeToSolution,
+			st: PlacementState{
+				ReducedBytes: 101, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: 64,
+				StagingMemUsed: 900, StagingMemCap: 1000,
+			},
+			want:       policy.PlaceInSitu,
+			wantReason: "insufficient in-transit memory",
+		},
+		{
+			name:      "idle staging ships under min-time-to-solution",
+			objective: policy.MinTimeToSolution,
+			st: PlacementState{
+				ReducedBytes: 1 << 20, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: 64,
+			},
+			want:       policy.PlaceInTransit,
+			wantReason: "staging idle",
+		},
+		{
+			name:      "idle-staging tie keeps analysis in-situ under min-data-movement",
+			objective: policy.MinDataMovement,
+			st: PlacementState{
+				ReducedBytes: 1 << 20, ReducedCells: 1 << 17,
+				Sample: healthy, StagingCores: 64,
+			},
+			want:       policy.PlaceInSitu,
+			wantReason: "min-movement bias",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(engineCfg(tc.objective, Adaptations{Middleware: true}))
+			got, reason := e.AdaptMiddleware(tc.st)
+			if got != tc.want {
+				t.Fatalf("placement = %v (%q), want %v", got, reason, tc.want)
+			}
+			if tc.wantReason != "" && !strings.Contains(reason, tc.wantReason) {
+				t.Errorf("reason %q does not mention %q", reason, tc.wantReason)
+			}
+		})
+	}
+}
+
+// Table-driven coverage of the resource policy's capacity clamps (Eqs.
+// 9–10): a data volume large enough to demand the whole pool must saturate
+// at MaxCores, and a degraded pool scales that ceiling by the healthy
+// endpoint fraction — never below one core.
+func TestAdaptResourceCapacityTable(t *testing.T) {
+	// 256 GiB at model scale wants far more than 64 cores of staging memory
+	// and analysis throughput, so every case saturates its ceiling.
+	const bigBytes, bigCells = int64(1) << 38, int64(1) << 35
+	cases := []struct {
+		name           string
+		healthy, total int
+		want           int
+	}{
+		{"full health saturates the pool ceiling", 0, 0, 64},
+		{"all endpoints healthy", 3, 3, 64},
+		{"two thirds healthy scales the ceiling", 2, 3, 42}, // int(2.0/3*64)
+		{"one third healthy scales the ceiling", 1, 3, 21},  // int(1.0/3*64)
+		{"no healthy endpoints floors at one core", 0, 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(engineCfg(policy.MinTimeToSolution, Adaptations{Resource: true}))
+			mon := monitor.New(0)
+			mon.Record(monitor.Sample{SimSeconds: 1})
+			s := monitor.Sample{
+				SimSeconds:              1,
+				StagingHealthyEndpoints: tc.healthy,
+				StagingTotalEndpoints:   tc.total,
+			}
+			if got := e.AdaptResource(bigBytes, bigCells, s, mon); got != tc.want {
+				t.Fatalf("AdaptResource = %d cores, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// The healthy-fraction cap only lowers the ceiling; a small allocation that
+// already fits under it is untouched.
+func TestAdaptResourceHealthyFractionOnlyCaps(t *testing.T) {
+	e := NewEngine(engineCfg(policy.MinTimeToSolution, Adaptations{Resource: true}))
+	mon := monitor.New(0)
+	mon.Record(monitor.Sample{SimSeconds: 1})
+	full := e.AdaptResource(1<<20, 1<<17, monitor.Sample{SimSeconds: 1}, mon)
+	degraded := e.AdaptResource(1<<20, 1<<17, monitor.Sample{
+		SimSeconds:              1,
+		StagingHealthyEndpoints: 2,
+		StagingTotalEndpoints:   3,
+	}, mon)
+	if full >= 42 {
+		t.Skipf("small workload unexpectedly saturates the pool (%d cores)", full)
+	}
+	if degraded != full {
+		t.Errorf("allocation under the degraded ceiling changed: %d -> %d", full, degraded)
+	}
+}

@@ -34,6 +34,14 @@ type endpointHealth interface {
 	HealthyEndpoints() (healthy, total int)
 }
 
+// eventDrainer is the optional event face of a StagingStore: a concurrent
+// staging pool buffers its endpoint-level events while operations are in
+// flight and flushes them, deterministically ordered, when the workflow
+// calls DrainEvents at the step barrier.
+type eventDrainer interface {
+	DrainEvents()
+}
+
 // spaceStore adapts the in-process Space to the StagingStore interface.
 type spaceStore struct{ sp *staging.Space }
 
@@ -55,6 +63,13 @@ func transportStatsOf(store StagingStore) (retries, reconnects int64) {
 		return ts.TransportStats()
 	}
 	return 0, 0
+}
+
+// drainEventsOf flushes the store's buffered events when it has any.
+func drainEventsOf(store StagingStore) {
+	if d, ok := store.(eventDrainer); ok {
+		d.DrainEvents()
+	}
 }
 
 // endpointHealthOf reads the store's endpoint health; (0, 0) means the

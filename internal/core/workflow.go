@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"crosslayer/internal/amr"
 	"crosslayer/internal/analysis"
@@ -90,6 +91,19 @@ type Config struct {
 	// disables the cooldown, so only the failing step itself degrades).
 	StagingFailureCooldown int
 
+	// StagingConcurrency bounds how many block transfers the workflow keeps
+	// in flight against the staging store at once. The default 1 is the
+	// Deterministic mode: every put runs inline on the workflow goroutine in
+	// today's serialized order, so seeded runs reproduce their event logs
+	// byte for byte. Values > 1 enable the concurrent data path: each
+	// analyzed step's blocks are dispatched asynchronously (overlapping the
+	// in-situ share of a hybrid step with the in-transit drain) and joined
+	// at the step barrier before any modeled cost is booked. The store must
+	// be safe for concurrent use — staging.Pool, staging.Client, and the
+	// in-process Space all are. Pair with a pool built with the same
+	// PoolOptions.Concurrency so the fan-out reaches the endpoint pipelines.
+	StagingConcurrency int
+
 	// AfterStep, when set, runs synchronously on the workflow goroutine
 	// after each completed step with that step's index. The crash/rejoin
 	// harness uses it to kill and revive staging servers at scheduled
@@ -140,6 +154,9 @@ func (c *Config) withDefaults() Config {
 	if out.StagingFailureCooldown < 0 {
 		out.StagingFailureCooldown = 0
 	}
+	if out.StagingConcurrency == 0 {
+		out.StagingConcurrency = 1
+	}
 	return out
 }
 
@@ -184,6 +201,9 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 	}
 	if c.SimCores < 1 || c.StagingCores < 1 {
 		return nil, fmt.Errorf("core: need at least one core on each side (N=%d, M=%d)", c.SimCores, c.StagingCores)
+	}
+	if c.StagingConcurrency < 1 {
+		return nil, fmt.Errorf("core: staging concurrency must be >= 1, got %d", c.StagingConcurrency)
 	}
 	h := sim.Hierarchy()
 	w := &Workflow{
@@ -388,6 +408,11 @@ func (w *Workflow) Step() StepRecord {
 		w.runAnalysis(&rec, blocks, sample, simEnd)
 	}
 
+	// Step barrier: every transfer has joined, so flush endpoint events a
+	// concurrent staging pool buffered during the step. Deterministic
+	// stores emit inline and this is a no-op.
+	drainEventsOf(w.store)
+
 	// account the staging pool through this step's span for Eq. 12
 	span := math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) - math.Max(simStart, 0)
 	if prev := len(w.result.Steps); prev > 0 {
@@ -551,8 +576,17 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 			rec.HybridFrac = phi
 			rec.Placement = placement
 			rec.PlacementReason = fmt.Sprintf("hybrid: %.0f%% in-situ, %.0f%% shipped", 100*phi, 100*(1-phi))
+			// Concurrent mode overlaps step i's in-transit drain with its
+			// in-situ analysis: the shipment fans out through the async
+			// pool while runInSitu does real compute on this goroutine,
+			// and runInTransit joins it at the step barrier. Deterministic
+			// mode passes nil so the puts run in today's serialized order.
+			var ship *shipment
+			if w.cfg.StagingConcurrency > 1 {
+				ship = w.beginShip(w.step, shipBlocks)
+			}
 			w.runInSitu(rec, inSituBlocks, sample, dataReady)
-			if !w.runInTransit(rec, shipBlocks, dataReady) {
+			if !w.runInTransit(rec, shipBlocks, dataReady, ship) {
 				w.degradeToInSitu(rec, shipBlocks, sample, dataReady)
 			}
 			return
@@ -565,7 +599,7 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 		w.runInSitu(rec, reduced, sample, dataReady)
 	case policy.PlaceInTransit:
 		rec.HybridFrac = 0
-		if !w.runInTransit(rec, reduced, dataReady) {
+		if !w.runInTransit(rec, reduced, dataReady, nil) {
 			w.degradeToInSitu(rec, reduced, sample, dataReady)
 		}
 	}
@@ -638,15 +672,94 @@ func (w *Workflow) runInSitu(rec *StepRecord, blocks []*field.BoxData, sample mo
 	rec.Triangles += int(rep.Metrics["triangles"])
 }
 
+// shipment is one step's in-flight transfer of blocks into the staging
+// store. In Deterministic mode (StagingConcurrency == 1) the puts run
+// inline on the caller's goroutine in serialized order; in concurrent mode
+// they fan out across a bounded set of sender goroutines so the drain
+// overlaps whatever the workflow does before joining. Either way the
+// workflow joins at the step barrier: wait returns the first transport
+// error once every put has finished.
+type shipment struct {
+	version               int
+	retries0, reconnects0 int64 // transport counters before the first put
+	settled               bool
+	err                   error
+	done                  chan error
+}
+
+// beginShip starts shipping one version's blocks into the staging store.
+func (w *Workflow) beginShip(version int, blocks []*field.BoxData) *shipment {
+	s := &shipment{version: version}
+	s.retries0, s.reconnects0 = transportStatsOf(w.store)
+	conc := w.cfg.StagingConcurrency
+	if conc <= 1 || len(blocks) < 2 {
+		s.settled = true
+		for _, b := range blocks {
+			if err := w.store.Put("analysis", version, b); err != nil {
+				s.err = err
+				break
+			}
+		}
+		return s
+	}
+	s.done = make(chan error, 1)
+	store := w.store
+	go func() {
+		sem := make(chan struct{}, conc)
+		var mu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		for _, b := range blocks {
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(b *field.BoxData) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := store.Put("analysis", version, b); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(b)
+		}
+		wg.Wait()
+		s.done <- firstErr
+	}()
+	return s
+}
+
+// wait joins the shipment, returning the first transport error. Idempotent.
+func (s *shipment) wait() error {
+	if !s.settled {
+		s.err = <-s.done
+		s.settled = true
+	}
+	return s.err
+}
+
 // runInTransit ships blocks into the staging store (real put — over TCP
 // when Config.Staging is a remote client), pays the asynchronous send on
-// the simulation side, then runs analysis on the staging pool. It reports
-// false when the transport failed: all remote I/O happens before any cost
-// is booked, so a failed attempt leaves the modeled clocks and counters
+// the simulation side, then runs analysis on the staging pool. A non-nil
+// ship is a transfer already started by the caller (the hybrid overlap
+// path); nil starts one here. It reports false when the transport failed:
+// all remote I/O happens (and the shipment joins) before any cost is
+// booked, so a failed attempt leaves the modeled clocks and counters
 // untouched apart from the retry/reconnect counts, and the caller degrades
 // the step to in-situ execution.
-func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64) bool {
+func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64, ship *shipment) bool {
+	if ship == nil {
+		ship = w.beginShip(w.step, blocks)
+	}
 	if len(blocks) == 0 {
+		ship.wait()
 		return true
 	}
 	c := &w.cfg
@@ -658,13 +771,16 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	bytes := w.scale(cells * 8)
 	transfer := c.Machine.TransferTime(bytes, min(c.SimCores, w.pool.Cores())) * c.LinkDegrade
 
-	// --- remote I/O first; nothing is booked until it all succeeded ---
-	version := w.step
-	retries0, reconnects0 := transportStatsOf(w.store)
-	got, err := w.shipAndFetch(version, blocks)
+	// --- remote I/O joins here; nothing is booked until it all succeeded ---
+	version := ship.version
+	err := ship.wait()
+	var got []*field.BoxData
+	if err == nil {
+		got, err = w.fetchStaged(version)
+	}
 	retries1, reconnects1 := transportStatsOf(w.store)
-	rec.StagingRetries += int(retries1 - retries0)
-	rec.StagingReconnects += int(reconnects1 - reconnects0)
+	rec.StagingRetries += int(retries1 - ship.retries0)
+	rec.StagingReconnects += int(reconnects1 - ship.reconnects0)
 	if err != nil {
 		// Best-effort cleanup of a partially written version; if the
 		// service is down this fails too, and eviction happens on the next
@@ -702,16 +818,10 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	return true
 }
 
-// shipAndFetch puts one version's blocks into the staging store and reads
-// them back for in-transit analysis, returning the first transport error.
-func (w *Workflow) shipAndFetch(version int, blocks []*field.BoxData) ([]*field.BoxData, error) {
-	for _, b := range blocks {
-		if err := w.store.Put("analysis", version, b); err != nil {
-			return nil, err
-		}
-	}
-	// Blocks carry their own level's index coordinates; a region covering
-	// the finest level's index space contains every level's boxes.
+// fetchStaged reads one shipped version's blocks back for in-transit
+// analysis. Blocks carry their own level's index coordinates; a region
+// covering the finest level's index space contains every level's boxes.
+func (w *Workflow) fetchStaged(version int) ([]*field.BoxData, error) {
 	h := w.sim.Hierarchy()
 	queryRegion := h.Cfg.Domain
 	for li := 0; li < h.FinestLevel(); li++ {

@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crosslayer/internal/reduce"
+)
+
+// TestSelectFactorMatchesOracle is a property test of the application
+// layer's factor selection (Eqs. 1–3): across thousands of seeded random
+// (S_data, Mem_available, hinted-factor-set) inputs, the chosen factor must
+// match a brute-force oracle — the smallest hinted factor whose reduced
+// size fits the memory constraint, or the most aggressive hint (with an
+// error) when none fits.
+func TestSelectFactorMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 2000; iter++ {
+		sdata := int64(rng.Intn(1 << 26))
+		mem := int64(rng.Intn(1 << 22))
+		factors := make([]int, 1+rng.Intn(6))
+		for i := range factors {
+			factors[i] = 1 + rng.Intn(16)
+		}
+
+		// Brute force: minimum feasible factor, if any; the largest hint
+		// is the degraded fallback.
+		oracleBest, oracleOK, largest := 0, false, 0
+		for _, x := range factors {
+			if x > largest {
+				largest = x
+			}
+			if reduce.ReducedBytes(sdata, x) <= mem {
+				if !oracleOK || x < oracleBest {
+					oracleBest, oracleOK = x, true
+				}
+			}
+		}
+
+		got, err := SelectFactor(sdata, mem, factors)
+		if oracleOK {
+			if err != nil {
+				t.Fatalf("iter %d: SelectFactor(%d, %d, %v) errored %v with feasible factor %d",
+					iter, sdata, mem, factors, err, oracleBest)
+			}
+			if got != oracleBest {
+				t.Fatalf("iter %d: SelectFactor(%d, %d, %v) = %d, oracle %d",
+					iter, sdata, mem, factors, got, oracleBest)
+			}
+			// The selected factor must actually satisfy the memory
+			// constraint it was selected under.
+			if reduce.ReducedBytes(sdata, got) > mem {
+				t.Fatalf("iter %d: selected factor %d violates memory constraint", iter, got)
+			}
+		} else {
+			if !errors.Is(err, ErrNoFeasibleFactor) {
+				t.Fatalf("iter %d: no feasible factor but err = %v", iter, err)
+			}
+			if got != largest {
+				t.Fatalf("iter %d: degraded factor %d, want most aggressive hint %d",
+					iter, got, largest)
+			}
+		}
+	}
+}
+
+// TestSelectFactorRejectsInvalidHints pins the error path property: any
+// hint below 1 is rejected regardless of the rest of the set.
+func TestSelectFactorRejectsInvalidHints(t *testing.T) {
+	if _, err := SelectFactor(1<<20, 1<<30, []int{2, 0, 4}); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if _, err := SelectFactor(1<<20, 1<<30, []int{-3}); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}

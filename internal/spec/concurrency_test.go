@@ -1,0 +1,78 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/policy"
+)
+
+// TestStagingConcurrencyValidation pins the spec-layer contract for the
+// parallel data path: negative values are rejected, >1 demands a real TCP
+// staging transport (the in-process space has no transfers to overlap),
+// and 0/1 stay valid everywhere (the Deterministic default).
+func TestStagingConcurrencyValidation(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{
+		"application": "polytropic-gas",
+		"domain": [16, 16, 16],
+		"staging_concurrency": -1
+	}`)); err == nil {
+		t.Error("negative staging_concurrency accepted")
+	}
+
+	_, err := Parse(strings.NewReader(`{
+		"application": "polytropic-gas",
+		"domain": [16, 16, 16],
+		"staging_concurrency": 8
+	}`))
+	if !errors.Is(err, ErrConcurrencyRequiresTCP) {
+		t.Errorf("concurrency without staging_tcp: err = %v, want ErrConcurrencyRequiresTCP", err)
+	}
+
+	for _, v := range []int{0, 1} {
+		if _, err := Parse(strings.NewReader(`{
+			"application": "polytropic-gas",
+			"domain": [16, 16, 16],
+			"staging_concurrency": ` + string(rune('0'+v)) + `
+		}`)); err != nil {
+			t.Errorf("staging_concurrency %d rejected: %v", v, err)
+		}
+	}
+}
+
+// TestStagingConcurrencySpecRuns builds and runs a concurrent-pool spec end
+// to end: the workflow must complete with in-transit steps and no degraded
+// placements.
+func TestStagingConcurrencySpecRuns(t *testing.T) {
+	w, err := Parse(strings.NewReader(`{
+		"application": "advection-diffusion",
+		"domain": [16, 16, 16],
+		"adapt": ["middleware"],
+		"staging_tcp": true,
+		"staging_servers": 3,
+		"staging_replicas": 2,
+		"staging_concurrency": 8,
+		"steps": 4
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	res := wf.Run(w.StepsOrDefault())
+	if len(res.Steps) != 4 {
+		t.Fatalf("ran %d steps", len(res.Steps))
+	}
+	if res.InTransitSteps == 0 {
+		t.Error("concurrent staging spec never shipped in-transit")
+	}
+	for _, s := range res.Steps {
+		if s.PlacementReason == policy.ReasonStagingFailure {
+			t.Errorf("step %d degraded under a healthy concurrent pool", s.Step)
+		}
+	}
+}

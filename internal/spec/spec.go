@@ -86,6 +86,12 @@ type Workflow struct {
 	// included (default 1 = no replication; must not exceed
 	// staging_servers).
 	StagingReplicas int `json:"staging_replicas"`
+	// StagingConcurrency bounds how many staging operations the workflow
+	// and pool keep in flight at once. Default 0/1 selects the
+	// Deterministic serialized path (byte-identical seeded event logs);
+	// values > 1 enable the concurrent per-endpoint pipelines and require
+	// staging_tcp (the concurrency exists to overlap real transport I/O).
+	StagingConcurrency int `json:"staging_concurrency"`
 	// StagingKill schedules a deterministic crash (and optional rejoin) of
 	// one pool server — the crash-failover harness. Requires
 	// staging_servers > 1.
@@ -140,6 +146,9 @@ var (
 	ErrServersRequireTCP = errors.New("spec: staging_servers > 1 requires staging_tcp")
 	// ErrKillRequiresPool: killing a server needs a pool with survivors.
 	ErrKillRequiresPool = errors.New("spec: staging_kill requires staging_servers > 1")
+	// ErrConcurrencyRequiresTCP: the concurrent data path overlaps real
+	// transport I/O, which only exists on the TCP staging path.
+	ErrConcurrencyRequiresTCP = errors.New("spec: staging_concurrency > 1 requires staging_tcp")
 )
 
 // KillSpec schedules a deterministic crash of one pool server: after step
@@ -267,6 +276,12 @@ func (w *Workflow) validate() error {
 	if w.StagingServers > 1 && !w.StagingTCP {
 		return fmt.Errorf("%w (got staging_servers=%d)", ErrServersRequireTCP, w.StagingServers)
 	}
+	if w.StagingConcurrency < 0 {
+		return fmt.Errorf("spec: negative staging_concurrency")
+	}
+	if w.StagingConcurrency > 1 && !w.StagingTCP {
+		return fmt.Errorf("%w (got staging_concurrency=%d)", ErrConcurrencyRequiresTCP, w.StagingConcurrency)
+	}
 	if w.StagingReplicas > max(w.StagingServers, 1) {
 		return fmt.Errorf("%w (%d > %d)", ErrReplicasExceedServers,
 			w.StagingReplicas, max(w.StagingServers, 1))
@@ -359,6 +374,7 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 	}
 
 	cfg.StagingFailureCooldown = w.StagingFailureCooldown
+	cfg.StagingConcurrency = w.StagingConcurrency
 
 	var closers []io.Closer
 	var emitter *obs.Emitter
@@ -510,7 +526,8 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 		closers = append(closers, srv)
 	}
 	pool, err := staging.NewPool(addrs, domain, staging.PoolOptions{
-		Replicas: max(w.StagingReplicas, 1),
+		Replicas:    max(w.StagingReplicas, 1),
+		Concurrency: w.StagingConcurrency,
 		Client: staging.ClientOptions{
 			// One retry per op: the pool's circuit breaker is the resilience
 			// layer here, so a dead endpoint should trip it quickly instead of

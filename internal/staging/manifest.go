@@ -1,0 +1,223 @@
+package staging
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Manifest is a point-in-time snapshot of what the pool believes it holds:
+// for every live (variable, version), how many blocks were stored. It is
+// the unit the soak tests audit — after a faulted run, every manifest entry
+// must still be readable from some replica — and the payload the repair
+// machinery conceptually replays, externalized with a canonical binary
+// codec so it can be persisted, diffed, and fuzzed.
+type Manifest struct {
+	Entries []ManifestEntry
+}
+
+// ManifestEntry records one (variable, version) and the number of blocks
+// the pool accepted for it. Blocks counts Put calls, so it equals distinct
+// stored boxes only when each box is put once per version — the workflow's
+// pattern (each analysis block is shipped exactly once per step).
+type ManifestEntry struct {
+	Var     string
+	Version int
+	Blocks  int
+}
+
+// Equal reports whether two manifests are identical.
+func (m Manifest) Equal(o Manifest) bool {
+	if len(m.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range m.Entries {
+		if m.Entries[i] != o.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortEntries orders entries canonically: by variable, then version.
+func sortEntries(entries []ManifestEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Var != entries[j].Var {
+			return entries[i].Var < entries[j].Var
+		}
+		return entries[i].Version < entries[j].Version
+	})
+}
+
+// Manifest snapshots the pool's live map, canonically sorted.
+func (p *Pool) Manifest() Manifest {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	var m Manifest
+	for varName, vs := range p.live {
+		for ver, blocks := range vs {
+			m.Entries = append(m.Entries, ManifestEntry{Var: varName, Version: ver, Blocks: blocks})
+		}
+	}
+	sortEntries(m.Entries)
+	return m
+}
+
+// Wire format of an encoded manifest (all integers big-endian):
+//
+//	magic   uint32  "XLM1"
+//	count   uint32  number of entries, <= manifestMaxEntries
+//	entry*: varLen  uint16  1..manifestMaxVar
+//	        var     []byte
+//	        version int32   >= 0
+//	        blocks  int32   >= 1
+//
+// Entries must be strictly ascending by (var, version): the canonical form
+// makes Encode∘Decode and Decode∘Encode both identities, which is what the
+// fuzz target checks.
+const (
+	manifestMagic      = 0x584c4d31 // "XLM1"
+	manifestMaxEntries = 1 << 20
+	manifestMaxVar     = 256
+)
+
+// ErrBadManifest tags every decode failure.
+var ErrBadManifest = errors.New("staging: bad manifest")
+
+// EncodeManifest writes m in the canonical wire form. Entries are sorted
+// into canonical order first; entries with an empty/oversized variable
+// name, a negative version, or a non-positive block count are rejected.
+func EncodeManifest(w io.Writer, m Manifest) error {
+	entries := make([]ManifestEntry, len(m.Entries))
+	copy(entries, m.Entries)
+	sortEntries(entries)
+	if len(entries) > manifestMaxEntries {
+		return fmt.Errorf("staging: manifest has %d entries (max %d)", len(entries), manifestMaxEntries)
+	}
+	for i, e := range entries {
+		if len(e.Var) == 0 || len(e.Var) > manifestMaxVar {
+			return fmt.Errorf("staging: manifest var %q has bad length", e.Var)
+		}
+		if e.Version < 0 || e.Version > 1<<30 {
+			return fmt.Errorf("staging: manifest version %d out of range", e.Version)
+		}
+		if e.Blocks < 1 || e.Blocks > 1<<30 {
+			return fmt.Errorf("staging: manifest block count %d out of range", e.Blocks)
+		}
+		if i > 0 && entries[i-1].Var == e.Var && entries[i-1].Version == e.Version {
+			return fmt.Errorf("staging: duplicate manifest entry %s@%d", e.Var, e.Version)
+		}
+	}
+	buf := make([]byte, 0, 8)
+	buf = binary.BigEndian.AppendUint32(buf, manifestMagic)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Var)))
+		buf = append(buf, e.Var...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Version))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Blocks))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeManifest reads one canonical manifest. Hostile input cannot force
+// large allocations: lengths are bounded before any allocation, and the
+// strict (var, version) ordering is enforced so every valid encoding has
+// exactly one decoding and vice versa.
+func DecodeManifest(r io.Reader) (Manifest, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Manifest{}, fmt.Errorf("%w: short header: %v", ErrBadManifest, err)
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != manifestMagic {
+		return Manifest{}, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	count := binary.BigEndian.Uint32(hdr[4:])
+	if count > manifestMaxEntries {
+		return Manifest{}, fmt.Errorf("%w: %d entries exceeds max", ErrBadManifest, count)
+	}
+	var m Manifest
+	var nameBuf [manifestMaxVar]byte
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return Manifest{}, fmt.Errorf("%w: short entry: %v", ErrBadManifest, err)
+		}
+		varLen := binary.BigEndian.Uint16(lenBuf[:])
+		if varLen == 0 || varLen > manifestMaxVar {
+			return Manifest{}, fmt.Errorf("%w: var length %d out of range", ErrBadManifest, varLen)
+		}
+		if _, err := io.ReadFull(r, nameBuf[:varLen]); err != nil {
+			return Manifest{}, fmt.Errorf("%w: short var name: %v", ErrBadManifest, err)
+		}
+		var numBuf [8]byte
+		if _, err := io.ReadFull(r, numBuf[:]); err != nil {
+			return Manifest{}, fmt.Errorf("%w: short entry tail: %v", ErrBadManifest, err)
+		}
+		e := ManifestEntry{
+			Var:     string(nameBuf[:varLen]),
+			Version: int(binary.BigEndian.Uint32(numBuf[:4])),
+			Blocks:  int(binary.BigEndian.Uint32(numBuf[4:])),
+		}
+		if e.Version < 0 || e.Version > 1<<30 {
+			return Manifest{}, fmt.Errorf("%w: version %d out of range", ErrBadManifest, e.Version)
+		}
+		if e.Blocks < 1 || e.Blocks > 1<<30 {
+			return Manifest{}, fmt.Errorf("%w: block count %d out of range", ErrBadManifest, e.Blocks)
+		}
+		if n := len(m.Entries); n > 0 {
+			prev := m.Entries[n-1]
+			if prev.Var > e.Var || (prev.Var == e.Var && prev.Version >= e.Version) {
+				return Manifest{}, fmt.Errorf("%w: entries not strictly ordered at %s@%d", ErrBadManifest, e.Var, e.Version)
+			}
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}
+
+// Audit verifies that every block a manifest claims is still readable from
+// some replica: for each entry it unions the distinct block boxes found
+// across the full replica set of every shard (querying primary and replica
+// variables directly, bypassing breaker state — a down endpoint is simply
+// unreadable) and counts the shortfall against the recorded block count.
+// It returns the total number of missing blocks; zero means no data loss.
+//
+// Box identity is the audit unit, so the count is meaningful when each box
+// is put once per version (see ManifestEntry.Blocks). Audit is a test and
+// post-mortem facility: it issues full-region reads against every
+// endpoint and must not race a workload that is still mutating the pool.
+func (p *Pool) Audit(m Manifest) (missing int) {
+	n := len(p.eps)
+	for _, e := range m.Entries {
+		seen := make(map[string]struct{})
+		for shard := 0; shard < n; shard++ {
+			for j := 0; j < p.replicas; j++ {
+				ep := p.eps[(shard+j)%n]
+				name := e.Var
+				if j > 0 {
+					name = replicaVar(e.Var, shard)
+				}
+				blocks, err := ep.client.GetBlocks(name, e.Version, allRegion)
+				if err != nil {
+					continue // unreachable endpoint or empty replica: not a source
+				}
+				for _, b := range blocks {
+					seen[fmt.Sprintf("%v-%v-%d", b.Box.Lo, b.Box.Hi, b.NComp)] = struct{}{}
+				}
+			}
+		}
+		if len(seen) < e.Blocks {
+			missing += e.Blocks - len(seen)
+		}
+	}
+	return missing
+}
+
+// AuditManifest audits the pool against its own current manifest.
+func (p *Pool) AuditManifest() (missing int) {
+	return p.Audit(p.Manifest())
+}

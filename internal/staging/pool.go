@@ -35,14 +35,26 @@ import (
 // server. While at least one replica survives, failures are invisible to
 // the caller.
 //
-// All operations run synchronously under one mutex on the caller's
-// goroutine, so with a deterministic crash schedule the emitted event
-// sequence is reproducible byte for byte.
+// The pool has two data paths selected by PoolOptions.Concurrency:
+//
+//   - Deterministic (Concurrency <= 1, the default): every operation runs
+//     synchronously under one mutex on the caller's goroutine, so with a
+//     deterministic crash schedule the emitted event sequence is
+//     reproducible byte for byte.
+//   - Concurrent (Concurrency > 1): each endpoint gets a worker goroutine
+//     with its own in-flight queue over its one reused connection; puts fan
+//     out across shards and replicas, shard reads run in parallel with
+//     hedged primary+replica requests when the primary is suspect, and the
+//     total number of in-flight endpoint operations is bounded by
+//     Concurrency. Endpoint-level events are buffered and must be flushed
+//     with DrainEvents at a quiet point (the workflow's step barrier),
+//     where they are ordered by (endpoint/shard, kind) before sinking.
 type Pool struct {
 	domain   grid.Box
 	replicas int
 	thresh   int
 	probeEvn int
+	conc     int
 	events   *obs.Emitter
 
 	mFailovers  *obs.Counter
@@ -52,19 +64,52 @@ type Pool struct {
 	mHealthy    *obs.Gauge
 	mSkippedOps *obs.Counter
 
-	mu   sync.Mutex
-	eps  []*endpoint
-	live map[string]map[int]struct{} // var -> versions with data in the pool
+	// mu serializes whole operations on the deterministic path. The
+	// concurrent path never takes it; Close takes it on both.
+	mu  sync.Mutex
+	eps []*endpoint
+
+	// stateMu guards the shared mutable state both paths touch: breaker
+	// fields on each endpoint, the live-version manifest, the buffered
+	// event queue, and the closed flag.
+	stateMu sync.Mutex
+	live    map[string]map[int]int // var -> version -> blocks recorded
+	pending []poolEvent
+	closed  bool
+
+	sem     chan struct{} // bounds total in-flight endpoint ops (concurrent path)
+	workers sync.WaitGroup
 }
 
-// endpoint is one staging server plus its circuit-breaker state.
+// endpoint is one staging server plus its circuit-breaker state and, on the
+// concurrent path, its worker queue. jobs is the endpoint's single in-flight
+// pipeline: one worker goroutine drains it over the endpoint's one reused
+// client connection, so operations on an endpoint never interleave.
 type endpoint struct {
 	idx      int
 	client   *Client
+	jobs     chan func()
 	down     bool
 	failures int // consecutive transport failures
 	skipped  int // operations skipped while down; drives half-open probes
 }
+
+// poolEvent is one buffered endpoint-level event on the concurrent path.
+// key is the endpoint index (breaker/repair events) or shard (failover
+// reads); rank orders kinds within a key so the drained sequence is stable
+// regardless of goroutine arrival order.
+type poolEvent struct {
+	key  int
+	rank int
+	emit func(*obs.Emitter)
+}
+
+const (
+	rankDown = iota
+	rankFailover
+	rankRepair
+	rankUp
+)
 
 // PoolOptions tunes the pool. The zero value selects the defaults noted on
 // each field.
@@ -81,6 +126,13 @@ type PoolOptions struct {
 	// half-open probes (default 2). Probe cadence counts operations, not
 	// wall time, so seeded runs probe at reproducible points.
 	ProbeEvery int
+
+	// Concurrency selects the data path. <= 1 (default) is the
+	// Deterministic serialized path; > 1 enables per-endpoint worker
+	// pipelines with at most Concurrency endpoint operations in flight
+	// across the pool. Concurrent pools buffer endpoint events until
+	// DrainEvents.
+	Concurrency int
 
 	// Client configures each endpoint's TCP client. Events is ignored: the
 	// pool emits its own endpoint-level events with stable details instead
@@ -117,6 +169,9 @@ func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
 	if opts.ProbeEvery < 1 {
 		opts.ProbeEvery = 2
 	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
 	copts := opts.Client
 	copts.Events = nil // see PoolOptions.Client
 	copts.Metrics = opts.Metrics
@@ -125,11 +180,20 @@ func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
 		replicas: opts.Replicas,
 		thresh:   opts.FailureThreshold,
 		probeEvn: opts.ProbeEvery,
+		conc:     opts.Concurrency,
 		events:   opts.Events,
-		live:     make(map[string]map[int]struct{}),
+		live:     make(map[string]map[int]int),
 	}
 	for i, addr := range addrs {
 		p.eps = append(p.eps, &endpoint{idx: i, client: NewClient(addr, copts)})
+	}
+	if p.conc > 1 {
+		p.sem = make(chan struct{}, p.conc)
+		for _, ep := range p.eps {
+			ep.jobs = make(chan func(), p.conc)
+			p.workers.Add(1)
+			go p.worker(ep)
+		}
 	}
 	reg := opts.Metrics
 	p.mFailovers = reg.Counter("xlayer_staging_pool_failover_gets_total",
@@ -167,12 +231,16 @@ func (p *Pool) NumEndpoints() int { return len(p.eps) }
 // Replicas returns the replication factor.
 func (p *Pool) Replicas() int { return p.replicas }
 
+// Concurrency returns the configured in-flight operation bound (1 on the
+// deterministic path).
+func (p *Pool) Concurrency() int { return p.conc }
+
 // HealthyEndpoints reports how many endpoints are in rotation out of the
 // configured total — the health signal the workflow's monitor samples so
 // the resource layer sees lost staging capacity.
 func (p *Pool) HealthyEndpoints() (healthy, total int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	for _, ep := range p.eps {
 		if !ep.down {
 			healthy++
@@ -192,10 +260,24 @@ func (p *Pool) TransportStats() (retries, reconnects int64) {
 	return retries, reconnects
 }
 
-// Close closes every endpoint client.
+// Close stops the worker pipelines, flushes any buffered events, and closes
+// every endpoint client. Close must not race in-flight operations: callers
+// finish (join) their puts and gets first, exactly as the workflow's step
+// barrier does.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	wasClosed := p.closed
+	p.closed = true
+	p.stateMu.Unlock()
+	if !wasClosed && p.conc > 1 {
+		for _, ep := range p.eps {
+			close(ep.jobs)
+		}
+		p.workers.Wait()
+		p.DrainEvents()
+	}
 	var first error
 	for _, ep := range p.eps {
 		if err := ep.client.Close(); err != nil && first == nil {
@@ -205,8 +287,101 @@ func (p *Pool) Close() error {
 	return first
 }
 
+// worker drains one endpoint's job queue. One worker per endpoint keeps a
+// single in-flight pipeline per connection: operations against an endpoint
+// are ordered even when many callers fan out across the pool.
+func (p *Pool) worker(ep *endpoint) {
+	defer p.workers.Done()
+	for fn := range ep.jobs {
+		fn()
+	}
+}
+
+// submit schedules fn on ep's worker. The pool-wide semaphore is acquired
+// when the job starts executing — not while it waits in the queue, which
+// would let a backed-up endpoint hold slots and starve idle peers — so
+// Concurrency bounds executing operations while each endpoint's buffered
+// channel bounds its queue. Only coordinator goroutines submit; workers
+// never do (repair calls peer clients directly), so the queue cannot
+// deadlock on itself.
+func (p *Pool) submit(ep *endpoint, fn func()) {
+	ep.jobs <- func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		fn()
+	}
+}
+
+// sinkEvent emits an endpoint-level event: inline on the deterministic path
+// (preserving byte-identical seeded logs), buffered until DrainEvents on the
+// concurrent path.
+func (p *Pool) sinkEvent(key, rank int, emit func(*obs.Emitter)) {
+	if p.conc <= 1 {
+		emit(p.events)
+		return
+	}
+	if p.events == nil {
+		return
+	}
+	p.stateMu.Lock()
+	p.pending = append(p.pending, poolEvent{key: key, rank: rank, emit: emit})
+	p.stateMu.Unlock()
+}
+
+// DrainEvents flushes events buffered by the concurrent data path to the
+// emitter, ordered by (endpoint-or-shard key, event kind) with arrival
+// order preserved within equal keys. The workflow calls this at each step
+// barrier so concurrent-mode streams group events deterministically even
+// though goroutine interleavings differ run to run. No-op on the
+// deterministic path, which emits inline.
+func (p *Pool) DrainEvents() {
+	if p.conc <= 1 {
+		return
+	}
+	p.stateMu.Lock()
+	evs := p.pending
+	p.pending = nil
+	p.stateMu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].key != evs[j].key {
+			return evs[i].key < evs[j].key
+		}
+		return evs[i].rank < evs[j].rank
+	})
+	for _, ev := range evs {
+		ev.emit(p.events)
+	}
+}
+
 // route picks the primary endpoint index for a block.
 func (p *Pool) route(b grid.Box) int { return routeIndex(p.domain, b, len(p.eps)) }
+
+// gateDecision is the breaker's answer for one offered operation.
+type gateDecision int
+
+const (
+	gateOpen  gateDecision = iota // endpoint healthy: proceed
+	gateSkip                      // breaker open: sit this one out
+	gateProbe                     // half-open: probe the transport
+)
+
+// gate advances ep's breaker state for one offered operation. On the
+// concurrent path it is only ever called from ep's own worker, so at most
+// one probe per endpoint is in flight.
+func (p *Pool) gate(ep *endpoint) gateDecision {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	if !ep.down {
+		return gateOpen
+	}
+	ep.skipped++
+	p.mSkippedOps.Inc()
+	if ep.skipped < p.probeEvn {
+		return gateSkip
+	}
+	ep.skipped = 0
+	return gateProbe
+}
 
 // usable reports whether ep may serve an operation right now. A down
 // endpoint sits out ProbeEvery operations, then half-opens: a cheap stat
@@ -214,41 +389,71 @@ func (p *Pool) route(b grid.Box) int { return routeIndex(p.domain, b, len(p.eps)
 // pass runs before the endpoint returns to rotation — a rejoining server
 // is never offered reads it cannot answer.
 func (p *Pool) usable(ep *endpoint) bool {
-	if !ep.down {
+	switch p.gate(ep) {
+	case gateOpen:
 		return true
-	}
-	ep.skipped++
-	p.mSkippedOps.Inc()
-	if ep.skipped < p.probeEvn {
+	case gateSkip:
 		return false
 	}
-	ep.skipped = 0
 	if _, err := ep.client.MemUsed(); err != nil {
 		return false
 	}
 	p.repair(ep)
-	ep.down = false
-	ep.failures = 0
-	p.mHealthy.Add(1)
-	p.events.EndpointUp(ep.idx)
+	p.rejoin(ep)
 	return true
 }
 
+// rejoin returns a successfully probed and repaired endpoint to rotation.
+func (p *Pool) rejoin(ep *endpoint) {
+	p.stateMu.Lock()
+	ep.down = false
+	ep.failures = 0
+	p.stateMu.Unlock()
+	p.mHealthy.Add(1)
+	p.sinkEvent(ep.idx, rankUp, func(e *obs.Emitter) { e.EndpointUp(ep.idx) })
+}
+
 // opOK resets ep's consecutive-failure count after a clean round trip.
-func (p *Pool) opOK(ep *endpoint) { ep.failures = 0 }
+func (p *Pool) opOK(ep *endpoint) {
+	p.stateMu.Lock()
+	ep.failures = 0
+	p.stateMu.Unlock()
+}
 
 // opFail records a transport failure on ep, opening its breaker at the
 // threshold. Application-level outcomes (ErrNotFound, ErrNoMemory) are
 // clean round trips and must not come through here.
 func (p *Pool) opFail(ep *endpoint) {
+	p.stateMu.Lock()
 	ep.failures++
-	if !ep.down && ep.failures >= p.thresh {
+	tripped := !ep.down && ep.failures >= p.thresh
+	failures := ep.failures
+	if tripped {
 		ep.down = true
 		ep.skipped = 0
+	}
+	p.stateMu.Unlock()
+	if tripped {
 		p.mDowns.Inc()
 		p.mHealthy.Add(-1)
-		p.events.EndpointDown(ep.idx, ep.failures)
+		p.sinkEvent(ep.idx, rankDown, func(e *obs.Emitter) { e.EndpointDown(ep.idx, failures) })
 	}
+}
+
+// isDown reads ep's breaker state without advancing it.
+func (p *Pool) isDown(ep *endpoint) bool {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	return ep.down
+}
+
+// suspect reports whether ep is down or mid-failure-streak — the hedging
+// trigger for shard reads: a suspect primary is likely to time out, so the
+// first replica is asked concurrently.
+func (p *Pool) suspect(ep *endpoint) bool {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	return ep.down || ep.failures > 0
 }
 
 // Put stores a block: the primary endpoint gets it under varName, the next
@@ -256,6 +461,9 @@ func (p *Pool) opFail(ep *endpoint) {
 // variable. The put succeeds when at least one endpoint stored the block;
 // only a block with no surviving replica at all is a failure.
 func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
+	if p.conc > 1 {
+		return p.putConcurrent(varName, version, d)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	primary := p.route(d.Box)
@@ -284,6 +492,66 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 			p.opFail(ep)
 		}
 	}
+	return p.finishPut(varName, version, stored, noMem, lastErr)
+}
+
+// putConcurrent fans one block's replica-set writes out to the endpoint
+// workers in parallel and joins them, aggregating exactly as the serial
+// path does.
+func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) error {
+	primary := p.route(d.Box)
+	n := len(p.eps)
+	type putRes struct {
+		stored bool
+		noMem  bool
+		err    error
+	}
+	ch := make(chan putRes, p.replicas)
+	for j := 0; j < p.replicas; j++ {
+		ep := p.eps[(primary+j)%n]
+		name := varName
+		if j > 0 {
+			name = replicaVar(varName, primary)
+		}
+		p.submit(ep, func() {
+			if !p.usable(ep) {
+				ch <- putRes{}
+				return
+			}
+			switch err := ep.client.Put(name, version, d); {
+			case err == nil:
+				p.opOK(ep)
+				ch <- putRes{stored: true}
+			case errors.Is(err, ErrNoMemory):
+				p.opOK(ep)
+				ch <- putRes{noMem: true}
+			default:
+				p.opFail(ep)
+				ch <- putRes{err: err}
+			}
+		})
+	}
+	stored := 0
+	noMem := false
+	var lastErr error
+	for j := 0; j < p.replicas; j++ {
+		r := <-ch
+		if r.stored {
+			stored++
+		}
+		if r.noMem {
+			noMem = true
+		}
+		if r.err != nil {
+			lastErr = r.err
+		}
+	}
+	return p.finishPut(varName, version, stored, noMem, lastErr)
+}
+
+// finishPut turns the replica-write tallies into the Put result and records
+// the stored block in the live manifest.
+func (p *Pool) finishPut(varName string, version, stored int, noMem bool, lastErr error) error {
 	if stored == 0 {
 		if noMem {
 			return ErrNoMemory
@@ -303,15 +571,24 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 // some shard has no reachable replica at all — the "all replicas of a block
 // are gone" condition the workflow treats as a staging failure.
 func (p *Pool) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*field.BoxData
-	for shard := range p.eps {
-		blocks, err := p.getShard(shard, varName, version, region)
+	if p.conc > 1 {
+		blocks, err := p.getBlocksConcurrent(varName, version, region)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, blocks...)
+		out = blocks
+	} else {
+		p.mu.Lock()
+		for shard := range p.eps {
+			blocks, err := p.getShard(shard, varName, version, region)
+			if err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+			out = append(out, blocks...)
+		}
+		p.mu.Unlock()
 	}
 	if len(out) == 0 {
 		return nil, ErrNotFound
@@ -321,6 +598,35 @@ func (p *Pool) GetBlocks(varName string, version int, region grid.Box) ([]*field
 		return grid.MortonCode(out[i].Box.Lo.Sub(p.domain.Lo).Max(grid.Zero)) <
 			grid.MortonCode(out[j].Box.Lo.Sub(p.domain.Lo).Max(grid.Zero))
 	})
+	return out, nil
+}
+
+// getBlocksConcurrent reads every shard in parallel: one coordinator
+// goroutine per shard drives getShardC, whose endpoint requests flow through
+// the per-endpoint worker queues.
+func (p *Pool) getBlocksConcurrent(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	type shardRes struct {
+		blocks []*field.BoxData
+		err    error
+	}
+	results := make([]shardRes, len(p.eps))
+	var wg sync.WaitGroup
+	for shard := range p.eps {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			blocks, err := p.getShardC(shard, varName, version, region)
+			results[shard] = shardRes{blocks: blocks, err: err}
+		}(shard)
+	}
+	wg.Wait()
+	var out []*field.BoxData
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.blocks...)
+	}
 	return out, nil
 }
 
@@ -344,8 +650,7 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 		case err == nil:
 			p.opOK(ep)
 			if j > 0 {
-				p.mFailovers.Inc()
-				p.events.FailoverGet(shard, ep.idx)
+				p.noteFailover(shard, ep.idx)
 			}
 			return blocks, nil
 		case errors.Is(err, ErrNotFound):
@@ -356,10 +661,110 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 			p.opFail(ep)
 		}
 	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("%w: shard %d lost all replicas: %v", ErrStagingUnavailable, shard, lastErr)
+	return nil, shardLostErr(shard, lastErr)
+}
+
+// getShardC is the concurrent-path shard read. The primary is always asked;
+// when it is suspect (down or mid-failure-streak) the first replica is
+// hedged concurrently so a primary timeout does not stall the shard. A clean
+// block answer wins immediately; a replica's NotFound is only trusted once
+// the primary has answered (the primary's NotFound is authoritative, a
+// replica's is last-resort — same semantics as the serial fallthrough).
+// Remaining replicas are tried sequentially only after the launched requests
+// all failed.
+func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	n := len(p.eps)
+	type shardAns struct {
+		j        int
+		blocks   []*field.BoxData
+		err      error
+		notFound bool
+		skipped  bool
 	}
-	return nil, fmt.Errorf("%w: shard %d lost all replicas", ErrStagingUnavailable, shard)
+	ch := make(chan shardAns, p.replicas)
+	read := func(j int) {
+		ep := p.eps[(shard+j)%n]
+		name := varName
+		if j > 0 {
+			name = replicaVar(varName, shard)
+		}
+		p.submit(ep, func() {
+			if !p.usable(ep) {
+				ch <- shardAns{j: j, skipped: true}
+				return
+			}
+			blocks, err := ep.client.GetBlocks(name, version, region)
+			switch {
+			case err == nil:
+				p.opOK(ep)
+				ch <- shardAns{j: j, blocks: blocks}
+			case errors.Is(err, ErrNotFound):
+				p.opOK(ep)
+				ch <- shardAns{j: j, notFound: true}
+			default:
+				p.opFail(ep)
+				ch <- shardAns{j: j, err: err}
+			}
+		})
+	}
+	read(0)
+	pending := 1
+	next := 1
+	if p.replicas > 1 && p.suspect(p.eps[shard]) {
+		read(1) // hedge: the suspect primary is likely to time out
+		pending++
+		next++
+	}
+	var lastErr error
+	primaryDone := false
+	replicaEmpty := -1 // j of a clean replica NotFound held until the primary answers
+	for pending > 0 {
+		a := <-ch
+		pending--
+		if a.j == 0 {
+			primaryDone = true
+		}
+		switch {
+		case a.err != nil:
+			lastErr = a.err
+		case a.skipped:
+			// Breaker open: not an answer.
+		case a.notFound:
+			if a.j == 0 {
+				return nil, nil
+			}
+			replicaEmpty = a.j
+		default:
+			if a.j > 0 {
+				p.noteFailover(shard, p.eps[(shard+a.j)%n].idx)
+			}
+			return a.blocks, nil
+		}
+		if primaryDone && replicaEmpty >= 0 {
+			p.noteFailover(shard, p.eps[(shard+replicaEmpty)%n].idx)
+			return nil, nil
+		}
+		if pending == 0 && next < p.replicas {
+			read(next)
+			next++
+			pending++
+		}
+	}
+	return nil, shardLostErr(shard, lastErr)
+}
+
+// noteFailover records a shard read served by a replica.
+func (p *Pool) noteFailover(shard, epIdx int) {
+	p.mFailovers.Inc()
+	p.sinkEvent(shard, rankFailover, func(e *obs.Emitter) { e.FailoverGet(shard, epIdx) })
+}
+
+// shardLostErr is the "all replicas of a shard are gone" failure.
+func shardLostErr(shard int, lastErr error) error {
+	if lastErr != nil {
+		return fmt.Errorf("%w: shard %d lost all replicas: %v", ErrStagingUnavailable, shard, lastErr)
+	}
+	return fmt.Errorf("%w: shard %d lost all replicas", ErrStagingUnavailable, shard)
 }
 
 // DropBefore evicts versions of varName below version on every reachable
@@ -368,45 +773,78 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 // is best-effort: down endpoints are skipped (a crashed server's state is
 // gone or stale anyway, and rejoin repair only restores live versions).
 func (p *Pool) DropBefore(varName string, version int) (int64, error) {
+	if p.conc > 1 {
+		return p.dropBeforeConcurrent(varName, version)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := len(p.eps)
 	var freed int64
-	for i, ep := range p.eps {
-		if !p.usable(ep) {
-			continue
-		}
-		names := []string{varName}
-		for j := 1; j < p.replicas; j++ {
-			names = append(names, replicaVar(varName, (i-j+n)%n))
-		}
-		for _, name := range names {
-			f, err := ep.client.DropBefore(name, version)
-			if err != nil {
-				p.opFail(ep)
-				break
-			}
-			p.opOK(ep)
-			freed += f
-		}
+	for i := range p.eps {
+		freed += p.dropOnEndpoint(i, varName, version)
 	}
 	p.dropLive(varName, version)
 	return freed, nil
 }
 
+// dropBeforeConcurrent fans the per-endpoint evictions out to the workers.
+func (p *Pool) dropBeforeConcurrent(varName string, version int) (int64, error) {
+	ch := make(chan int64, len(p.eps))
+	for i := range p.eps {
+		i := i
+		p.submit(p.eps[i], func() {
+			ch <- p.dropOnEndpoint(i, varName, version)
+		})
+	}
+	var freed int64
+	for range p.eps {
+		freed += <-ch
+	}
+	p.dropLive(varName, version)
+	return freed, nil
+}
+
+// dropOnEndpoint evicts varName (and the replica variables endpoint i
+// hosts) below version on that endpoint, returning bytes freed.
+func (p *Pool) dropOnEndpoint(i int, varName string, version int) int64 {
+	ep := p.eps[i]
+	if !p.usable(ep) {
+		return 0
+	}
+	n := len(p.eps)
+	names := []string{varName}
+	for j := 1; j < p.replicas; j++ {
+		names = append(names, replicaVar(varName, (i-j+n)%n))
+	}
+	var freed int64
+	for _, name := range names {
+		f, err := ep.client.DropBefore(name, version)
+		if err != nil {
+			p.opFail(ep)
+			break
+		}
+		p.opOK(ep)
+		freed += f
+	}
+	return freed
+}
+
 // recordLive marks (varName, version) as held by the pool — the manifest
-// rejoin repair replays.
+// rejoin repair replays — counting stored blocks for the audit manifest.
 func (p *Pool) recordLive(varName string, version int) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	vs := p.live[varName]
 	if vs == nil {
-		vs = make(map[int]struct{})
+		vs = make(map[int]int)
 		p.live[varName] = vs
 	}
-	vs[version] = struct{}{}
+	vs[version]++
 }
 
 // dropLive forgets versions below version.
 func (p *Pool) dropLive(varName string, version int) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	vs := p.live[varName]
 	for v := range vs {
 		if v < version {
@@ -418,6 +856,25 @@ func (p *Pool) dropLive(varName string, version int) {
 	}
 }
 
+// liveSnapshot copies the live manifest: variables sorted, versions sorted
+// ascending per variable.
+func (p *Pool) liveSnapshot() (vars []string, versions map[string][]int) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	versions = make(map[string][]int, len(p.live))
+	for v, vs := range p.live {
+		vars = append(vars, v)
+		list := make([]int, 0, len(vs))
+		for ver := range vs {
+			list = append(list, ver)
+		}
+		sort.Ints(list)
+		versions[v] = list
+	}
+	sort.Strings(vars)
+	return vars, versions
+}
+
 // repair is the anti-entropy pass run when a down endpoint's probe
 // succeeds, before it rejoins rotation: for every live (variable, version)
 // in the pool's manifest, the blocks the endpoint should hold — its own
@@ -426,14 +883,12 @@ func (p *Pool) dropLive(varName string, version int) {
 // copies of those variables are dropped (re-putting is then idempotent even
 // when the crash did not lose the backing store), and the fetched blocks
 // are re-put. Versions whose every other replica also died are unrepairable
-// and silently lost, exactly like a single-server crash.
+// and silently lost, exactly like a single-server crash. Peer fetches call
+// the peer clients directly — never through the worker queues — so a repair
+// running inside a worker cannot deadlock the pipeline.
 func (p *Pool) repair(ep *endpoint) {
 	n := len(p.eps)
-	vars := make([]string, 0, len(p.live))
-	for v := range p.live {
-		vars = append(vars, v)
-	}
-	sort.Strings(vars)
+	vars, versionsOf := p.liveSnapshot()
 
 	// Shards this endpoint participates in: its own (as primary) and its
 	// ring predecessors' (as replica holder).
@@ -449,11 +904,7 @@ func (p *Pool) repair(ep *endpoint) {
 
 	blocks, bytes := 0, int64(0)
 	for _, varName := range vars {
-		versions := make([]int, 0, len(p.live[varName]))
-		for ver := range p.live[varName] {
-			versions = append(versions, ver)
-		}
-		sort.Ints(versions)
+		versions := versionsOf[varName]
 		for _, r := range roles {
 			name := r.name(varName)
 			// Fetch everything restorable first, then wipe, then re-put:
@@ -476,7 +927,7 @@ func (p *Pool) repair(ep *endpoint) {
 	}
 	p.mRepairs.Inc()
 	p.mRepaired.Add(float64(blocks))
-	p.events.Repair(ep.idx, blocks, bytes)
+	p.sinkEvent(ep.idx, rankRepair, func(e *obs.Emitter) { e.Repair(ep.idx, blocks, bytes) })
 }
 
 // fetchShard reads one shard's blocks of varName@version from any healthy
@@ -487,7 +938,7 @@ func (p *Pool) fetchShard(shard int, exclude *endpoint, varName string, version 
 	n := len(p.eps)
 	for j := 0; j < p.replicas; j++ {
 		src := p.eps[(shard+j)%n]
-		if src == exclude || src.down {
+		if src == exclude || p.isDown(src) {
 			continue
 		}
 		name := varName

@@ -1,0 +1,184 @@
+package staging
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"crosslayer/internal/faultnet"
+	"crosslayer/internal/field"
+	"crosslayer/internal/obs"
+)
+
+// newConcRig is newPoolRig with the parallel data path enabled.
+func newConcRig(t *testing.T, n, replicas, conc int) *poolRig {
+	t.Helper()
+	rig := &poolRig{}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		sp := NewSpace(1, 0, dom())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := faultnet.NewGate(ln)
+		srv := ServeOn(g, sp)
+		t.Cleanup(func() { srv.Close() })
+		rig.gates = append(rig.gates, g)
+		rig.spaces = append(rig.spaces, sp)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	p, err := NewPool(addrs, dom(), PoolOptions{
+		Replicas:         replicas,
+		Concurrency:      conc,
+		FailureThreshold: 1,
+		ProbeEvery:       1,
+		Client: ClientOptions{
+			OpTimeout:   2 * time.Second,
+			MaxRetries:  -1,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	rig.pool = p
+	return rig
+}
+
+// putAllConc ships the blocks from conc goroutines — the workflow's
+// shipment fan-out shape.
+func putAllConc(t *testing.T, p *Pool, version int, blocks []*field.BoxData, conc int) {
+	t.Helper()
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(blocks))
+	for _, b := range blocks {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(b *field.BoxData) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := p.Put("rho", version, b); err != nil {
+				errs <- err
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPoolMatchesSerial pins the parallel data path's contract:
+// the same workload through a Concurrency=8 pool and a serialized pool
+// yields byte-identical reads, in the same Morton order.
+func TestConcurrentPoolMatchesSerial(t *testing.T) {
+	serial := newPoolRig(t, 3, 2)
+	conc := newConcRig(t, 3, 2, 8)
+	blocks := spread()
+	putAll(t, serial.pool, 0, blocks)
+	putAllConc(t, conc.pool, 0, blocks, 8)
+
+	want, err := serial.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conc.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("concurrent read %d blocks, serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("block %d differs between concurrent and serial reads (%v vs %v)",
+				i, got[i].Box, want[i].Box)
+		}
+	}
+	if !conc.pool.Manifest().Equal(serial.pool.Manifest()) {
+		t.Fatalf("manifests diverge: %v vs %v", conc.pool.Manifest(), serial.pool.Manifest())
+	}
+}
+
+// TestConcurrentFailover exercises the hedged-read and replicated-put paths
+// with a dead endpoint under the parallel pool.
+func TestConcurrentFailover(t *testing.T) {
+	rig := newConcRig(t, 3, 2, 8)
+	blocks := spread()
+	putAllConc(t, rig.pool, 0, blocks, 8)
+	rig.kill(1)
+	got, err := rig.pool.GetBlocks("rho", 0, dom())
+	if err != nil {
+		t.Fatalf("hedged get with one dead server: %v", err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+	// Puts keep landing while the endpoint is down.
+	putAllConc(t, rig.pool, 1, blocks, 8)
+	if got, err := rig.pool.GetBlocks("rho", 1, dom()); err != nil || len(got) != len(blocks) {
+		t.Fatalf("put+get around dead server: %d blocks, err = %v", len(got), err)
+	}
+}
+
+// TestConcurrentEventsDrainAtBarrier pins the event-ordering contract: in
+// concurrent mode pool events buffer until DrainEvents (the workflow's
+// step barrier), then flush sorted by (endpoint/shard, severity) so seeded
+// runs stay reproducible. DrainEvents is idempotent.
+func TestConcurrentEventsDrainAtBarrier(t *testing.T) {
+	sink := obs.NewRingSink(256)
+	rig := newConcRig(t, 3, 2, 8)
+	rig.pool.events = obs.NewEmitter(sink)
+
+	blocks := spread()
+	putAllConc(t, rig.pool, 0, blocks, 8)
+	rig.kill(1)
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); err != nil {
+		t.Fatal(err)
+	}
+	if n := sink.Total(); n != 0 {
+		t.Fatalf("%d events emitted before the barrier; concurrent mode must buffer", n)
+	}
+	rig.pool.DrainEvents()
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events after drain; the breaker must have opened")
+	}
+	var sawDown bool
+	for _, e := range events {
+		if e.Kind == obs.KindEndpointDown && e.Endpoint == 1 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatalf("drained events %v lack endpoint_down for server 1", events)
+	}
+	before := sink.Total()
+	rig.pool.DrainEvents()
+	if sink.Total() != before {
+		t.Error("second DrainEvents re-emitted buffered events")
+	}
+}
+
+// TestSerialPoolEmitsInline is the deterministic-mode counterpart: with
+// Concurrency <= 1 events reach the sink as they happen, no barrier needed.
+func TestSerialPoolEmitsInline(t *testing.T) {
+	sink := obs.NewRingSink(256)
+	rig := newPoolRig(t, 3, 2)
+	rig.pool.events = obs.NewEmitter(sink)
+
+	putAll(t, rig.pool, 0, spread())
+	rig.kill(1)
+	if _, err := rig.pool.GetBlocks("rho", 0, dom()); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Total() == 0 {
+		t.Fatal("serialized pool buffered events; must emit inline")
+	}
+}
