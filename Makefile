@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test vet staticcheck race fuzz clean
+.PHONY: check build test vet staticcheck race fuzz chaos cover clean
 
 check: vet staticcheck build race fuzz
 
@@ -34,6 +34,20 @@ fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZTIME)
+
+# A seeded chaos sweep over the replicated pool + engine with all
+# cross-layer invariants armed; any violation shrinks to a repro under
+# CHAOS_OUT and fails the target.
+CHAOS_SEEDS ?= 25
+CHAOS_OUT ?= chaos-repros
+chaos:
+	$(GO) run ./cmd/xlayer chaos -seeds $(CHAOS_SEEDS) -steps 8 -out $(CHAOS_OUT)
+
+# Coverage summary for the CI artifact: per-function table plus the total.
+cover:
+	$(GO) test ./... -count=1 -coverprofile=coverage.out -covermode=atomic
+	$(GO) tool cover -func=coverage.out | tee coverage-summary.txt
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"crosslayer"
+)
+
+// chaosOpts carries the flags of `xlayer chaos`.
+type chaosOpts struct {
+	seeds     int    // schedules to explore
+	startSeed int64  // first seed
+	maxSteps  int    // cap on schedule length (0 = generator's choice)
+	outDir    string // repro directory ("" = don't write repros)
+	replay    string // repro file to replay instead of sweeping
+	jsonOut   bool   // print the report as JSON
+}
+
+// runChaos drives the deterministic chaos explorer: either a seeded sweep
+// (shrinking any violation to a repro file under -out) or a single-file
+// replay of a previously shrunk repro. Any violation exits nonzero.
+func runChaos(o chaosOpts) error {
+	if o.replay != "" {
+		rr, err := crosslayer.ReplayChaosRepro(o.replay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %s: steps=%d servers=%d replicas=%d concurrency=%d faults=%d\n",
+			o.replay, rr.Schedule.Steps, rr.Schedule.Servers, rr.Schedule.Replicas,
+			rr.Schedule.Concurrency, rr.Schedule.FaultCount())
+		if len(rr.Violations) == 0 {
+			fmt.Println("no invariant violations — the repro no longer fires")
+			return nil
+		}
+		for _, v := range rr.Violations {
+			fmt.Println(" ", v)
+		}
+		return fmt.Errorf("%d invariant violation(s)", len(rr.Violations))
+	}
+
+	rep, err := crosslayer.ExploreChaos(crosslayer.ChaosOptions{
+		Seeds:     o.seeds,
+		StartSeed: o.startSeed,
+		MaxSteps:  o.maxSteps,
+		OutDir:    o.outDir,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("chaos: %d schedules, %d replay-checked, %d durability-armed, %d degraded steps, %d violating\n",
+			rep.Schedules, rep.ReplayChecked, rep.DurabilityChecked, rep.DegradedSteps, len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Printf("  seed %d: %s\n", f.Schedule.Seed, f.Violations[0])
+			fmt.Printf("    shrunk to steps=%d servers=%d faults=%d", f.Shrunk.Steps, f.Shrunk.Servers, f.Shrunk.FaultCount())
+			if f.ReproPath != "" {
+				fmt.Printf(" → %s", f.ReproPath)
+			}
+			fmt.Println()
+		}
+	}
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d of %d schedules violated an invariant", len(rep.Failures), rep.Schedules)
+	}
+	return nil
+}

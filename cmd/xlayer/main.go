@@ -53,6 +53,10 @@ func main() {
 	benchBaseline := fs.String("baseline", "", "compare against this committed baseline report and fail on regression (bench mode)")
 	benchTol := fs.Float64("tol", 0.20, "allowed fractional speedup regression vs the baseline (bench mode)")
 	benchShort := fs.Bool("short", false, "trim workload step counts — the PR-gate configuration (bench mode)")
+	chaosSeeds := fs.Int("seeds", 25, "seeded fault schedules to explore (chaos mode)")
+	chaosStartSeed := fs.Int64("start-seed", 0, "first seed of the sweep (chaos mode)")
+	chaosReplay := fs.String("replay", "", "replay this shrunk repro file instead of sweeping (chaos mode)")
+	chaosJSON := fs.Bool("json", false, "print the sweep report as JSON (chaos mode)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -115,6 +119,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
+	case "chaos":
+		// -out doubles as the bench report path; in chaos mode it is the
+		// repro directory and only applies when given explicitly.
+		outDir := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outDir = *benchOut
+			}
+		})
+		if err := runChaos(chaosOpts{
+			seeds: *chaosSeeds, startSeed: *chaosStartSeed, maxSteps: *steps,
+			outDir: outDir, replay: *chaosReplay, jsonOut: *chaosJSON,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -122,7 +142,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|bench> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|bench|chaos> [flags]
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
@@ -132,7 +152,9 @@ run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -events FILE (structured event stream)  -metrics-addr ADDR (Prometheus)
 runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
 report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl
-bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]`)
+bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]
+chaos:     xlayer chaos [-seeds N] [-start-seed S] [-steps MAX] [-out REPRO_DIR] [-json]
+           xlayer chaos -replay repro.json  (re-run a shrunk repro; violations exit nonzero)`)
 }
 
 // runSpec executes a declarative workflow specification.

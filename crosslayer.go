@@ -45,6 +45,7 @@ import (
 	"crosslayer/internal/amr"
 	"crosslayer/internal/analysis"
 	"crosslayer/internal/bench"
+	"crosslayer/internal/chaos"
 	"crosslayer/internal/core"
 	"crosslayer/internal/entropy"
 	"crosslayer/internal/experiments"
@@ -518,3 +519,35 @@ func ReadBenchReport(path string) (*BenchReport, error) { return bench.ReadFile(
 func CompareBench(base, cur *BenchReport, tol float64) (failures, warnings []string) {
 	return bench.Compare(base, cur, tol)
 }
+
+// Deterministic chaos explorer (`xlayer chaos`): seeded fault-schedule
+// search over the replicated staging pool and the cross-layer engine, with
+// invariant checking after every step and automatic shrinking of violating
+// schedules to minimal repro files.
+type (
+	// ChaosSchedule is one seeded fault schedule.
+	ChaosSchedule = chaos.Schedule
+	// ChaosOptions tunes an exploration sweep.
+	ChaosOptions = chaos.Options
+	// ChaosReport summarizes a sweep.
+	ChaosReport = chaos.Report
+	// ChaosRunResult is one verified schedule's outcome.
+	ChaosRunResult = chaos.RunResult
+	// ChaosViolation is one invariant breach.
+	ChaosViolation = chaos.Violation
+)
+
+// GenerateChaosSchedule derives a fault schedule from a seed (a pure
+// function of the seed).
+func GenerateChaosSchedule(seed int64) ChaosSchedule { return chaos.Generate(seed) }
+
+// ExploreChaos sweeps seeded schedules, verifying every cross-layer
+// invariant and shrinking violations to repro files.
+func ExploreChaos(opts ChaosOptions) (*ChaosReport, error) { return chaos.Explore(opts) }
+
+// VerifyChaosSchedule runs one schedule (twice, where determinism is
+// contractual) and returns its violations.
+func VerifyChaosSchedule(s ChaosSchedule) (*ChaosRunResult, error) { return chaos.Verify(s) }
+
+// ReplayChaosRepro reloads and verifies a shrunk repro file.
+func ReplayChaosRepro(path string) (*ChaosRunResult, error) { return chaos.Replay(path) }

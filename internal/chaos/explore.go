@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Verify runs a schedule through the engine and, where the determinism
+// contract holds (Schedule.DeterministicByContract), replays it and
+// compares the two event logs byte for byte — the replay-determinism
+// invariant. The returned result is the first run's, with any replay
+// divergence and any second-run-only violations folded in.
+func Verify(s Schedule) (*RunResult, error) {
+	first, err := Run(s)
+	if err != nil {
+		return nil, err
+	}
+	if !s.DeterministicByContract() {
+		return first, nil
+	}
+	second, err := Run(s)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(first.EventLog, second.EventLog) {
+		line, a, b := firstDivergence(first.EventLog, second.EventLog)
+		first.Violations = append(first.Violations, Violation{
+			Invariant: InvReplayDeterminism,
+			Step:      -1,
+			Detail:    fmt.Sprintf("event logs diverge at line %d: %q vs %q", line, a, b),
+		})
+	}
+	for _, v := range second.Violations {
+		if !hasViolation(first.Violations, v) {
+			first.Violations = append(first.Violations, v)
+		}
+	}
+	return first, nil
+}
+
+// Replay loads a repro schedule from path and verifies it — the one-call
+// way to re-run a shrunk repro file.
+func Replay(path string) (*RunResult, error) {
+	s, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(s)
+}
+
+func hasViolation(list []Violation, v Violation) bool {
+	for _, o := range list {
+		if o == v {
+			return true
+		}
+	}
+	return false
+}
+
+// firstDivergence locates the first line where two event logs differ.
+func firstDivergence(a, b []byte) (line int, la, lb string) {
+	as := bytes.Split(a, []byte("\n"))
+	bs := bytes.Split(b, []byte("\n"))
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(as[i], bs[i]) {
+			return i + 1, clip(as[i]), clip(bs[i])
+		}
+	}
+	return n + 1, clipAt(as, n), clipAt(bs, n)
+}
+
+func clipAt(lines [][]byte, i int) string {
+	if i < len(lines) {
+		return clip(lines[i])
+	}
+	return "<end of log>"
+}
+
+func clip(b []byte) string {
+	const max = 160
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+// Options tunes an exploration sweep.
+type Options struct {
+	// Seeds is how many schedules to generate and verify, derived from
+	// StartSeed, StartSeed+1, … (default 25).
+	Seeds int
+
+	// StartSeed is the first seed (default 0).
+	StartSeed int64
+
+	// MaxSteps caps every schedule's step count (0 = the generator's
+	// choice). Faults scheduled beyond the cap are dropped.
+	MaxSteps int
+
+	// OutDir, when non-empty, receives one shrunk repro_*.json per
+	// violating seed.
+	OutDir string
+
+	// ShrinkBudget bounds the verification runs the shrinker spends per
+	// violating schedule (default 48).
+	ShrinkBudget int
+
+	// Log receives one progress line per schedule (nil = silent).
+	Log io.Writer
+}
+
+// Failure is one violating seed: the generated schedule, what it violated,
+// and the shrunk repro.
+type Failure struct {
+	Schedule         Schedule    `json:"schedule"`
+	Violations       []Violation `json:"violations"`
+	Shrunk           Schedule    `json:"shrunk"`
+	ShrunkViolations []Violation `json:"shrunk_violations"`
+	ReproPath        string      `json:"repro_path,omitempty"`
+}
+
+// Report summarizes an exploration sweep.
+type Report struct {
+	Schedules         int       `json:"schedules"`
+	ReplayChecked     int       `json:"replay_checked"`
+	DurabilityChecked int       `json:"durability_checked"`
+	DegradedSteps     int       `json:"degraded_steps"`
+	Failures          []Failure `json:"failures,omitempty"`
+}
+
+// Explore generates opts.Seeds seeded schedules, verifies every invariant
+// on each, and shrinks every violating schedule to a minimal repro
+// (written to opts.OutDir when set). A run error — the harness itself
+// failing to stand up, not an invariant violation — aborts the sweep.
+func Explore(opts Options) (*Report, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 25
+	}
+	if opts.ShrinkBudget <= 0 {
+		opts.ShrinkBudget = 48
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	rep := &Report{}
+	for i := 0; i < opts.Seeds; i++ {
+		seed := opts.StartSeed + int64(i)
+		s := Generate(seed)
+		if opts.MaxSteps > 0 && s.Steps > opts.MaxSteps {
+			s = truncateSteps(s, opts.MaxSteps)
+		}
+		rr, err := Verify(s)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		rep.Schedules++
+		if s.DeterministicByContract() {
+			rep.ReplayChecked++
+		}
+		if rr.DurabilityChecked {
+			rep.DurabilityChecked++
+		}
+		rep.DegradedSteps += rr.DegradedSteps
+		if len(rr.Violations) == 0 {
+			logf("seed %-4d ok     steps=%d servers=%d replicas=%d conc=%d faults=%d degraded=%d",
+				seed, s.Steps, s.Servers, s.Replicas, s.Concurrency, s.FaultCount(), rr.DegradedSteps)
+			continue
+		}
+		logf("seed %-4d VIOLATION %s — shrinking", seed, rr.Violations[0])
+		shrunk, sv, err := Shrink(s, rr.Violations, opts.ShrinkBudget)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d shrink: %w", seed, err)
+		}
+		f := Failure{Schedule: s, Violations: rr.Violations, Shrunk: shrunk, ShrunkViolations: sv}
+		if opts.OutDir != "" {
+			if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+				return nil, fmt.Errorf("chaos: %w", err)
+			}
+			name := fmt.Sprintf("repro_%s_seed%d.json", sv[0].Invariant, seed)
+			f.ReproPath = filepath.Join(opts.OutDir, name)
+			if err := SaveFile(f.ReproPath, shrunk); err != nil {
+				return nil, err
+			}
+			logf("seed %-4d shrunk to %d faults / %d steps → %s", seed, shrunk.FaultCount(), shrunk.Steps, f.ReproPath)
+		} else {
+			logf("seed %-4d shrunk to %d faults / %d steps", seed, shrunk.FaultCount(), shrunk.Steps)
+		}
+		rep.Failures = append(rep.Failures, f)
+	}
+	return rep, nil
+}
+
+// truncateSteps caps a schedule's length, dropping faults beyond the cap.
+func truncateSteps(s Schedule, steps int) Schedule {
+	out := s
+	out.Steps = steps
+	out.Kills = nil
+	for _, k := range s.Kills {
+		if k.At < steps {
+			out.Kills = append(out.Kills, k)
+		}
+	}
+	if s.Wipe != nil && s.Wipe.At >= steps {
+		out.Wipe = nil
+	}
+	return out
+}

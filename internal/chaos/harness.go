@@ -1,0 +1,404 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"crosslayer/internal/amr"
+	"crosslayer/internal/core"
+	"crosslayer/internal/faultnet"
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/obs"
+	"crosslayer/internal/policy"
+	"crosslayer/internal/solver"
+	"crosslayer/internal/staging"
+	"crosslayer/internal/sysmodel"
+)
+
+// The fixed workload shape every schedule runs: small enough that a sweep
+// of dozens of schedules stays in CI budget, large enough that the AMR
+// hierarchy produces multiple blocks per step and the Morton router spreads
+// them across every pool shard.
+const (
+	domainSide   = 16
+	simCores     = 1024
+	stagingCores = 64 // the paper's 16:1 ratio at simCores=1024
+	probeVar     = "chaos_probe"
+)
+
+// RunResult is the outcome of driving one schedule through the real
+// engine: the violations found (empty on a healthy run), the raw event log
+// for replay comparison, and the per-step records.
+type RunResult struct {
+	Schedule   Schedule
+	Violations []Violation
+	EventLog   []byte
+	Steps      []core.StepRecord
+
+	// DegradedSteps counts steps that fell back to in-situ with
+	// placement_reason=staging_failure.
+	DegradedSteps int
+
+	// DurabilityChecked reports whether the durability audit stayed armed
+	// for the whole run (it disarms once data loss becomes legitimate:
+	// some shard's full replica set was simultaneously dead, or an
+	// error-producing network plan can fail the audit's own reads).
+	DurabilityChecked bool
+}
+
+// plan converts the schedule's network fault to a faultnet plan.
+func (f *NetFault) plan() faultnet.Plan {
+	return faultnet.Plan{
+		Seed:           f.Seed,
+		RefuseAccepts:  f.RefuseAccepts,
+		DropAfterBytes: f.DropAfterBytes,
+		Latency:        time.Duration(f.LatencyUS) * time.Microsecond,
+		TruncateRate:   f.TruncateRate,
+		CorruptRate:    f.CorruptRate,
+	}
+}
+
+// tallySink forwards events to the JSONL log while counting the kinds the
+// metrics-consistency invariant cross-checks, and tells the harness when an
+// endpoint finished its rejoin repair (the durability audit's evidence that
+// the endpoint holds its data again). All emission paths run on the
+// workflow goroutine — inline on the deterministic pool path, at the step
+// barrier's DrainEvents on the concurrent path — so no locking is needed.
+type tallySink struct {
+	inner     obs.Sink
+	downs     int
+	ups       int
+	failovers int
+	repairs   int
+	degrades  int
+	onUp      func(endpoint int)
+}
+
+func (t *tallySink) Emit(ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindEndpointDown:
+		t.downs++
+	case obs.KindEndpointUp:
+		t.ups++
+		if t.onUp != nil {
+			t.onUp(ev.Endpoint)
+		}
+	case obs.KindFailoverGet:
+		t.failovers++
+	case obs.KindRepair:
+		t.repairs++
+	case obs.KindStagingDegrade:
+		t.degrades++
+	}
+	t.inner.Emit(ev)
+}
+
+func (t *tallySink) Close() error { return t.inner.Close() }
+
+// harness is the per-run state the invariant checks read.
+type harness struct {
+	s           Schedule
+	wf          *core.Workflow
+	pool        *staging.Pool
+	gates       []*faultnet.Gate
+	spaces      []*staging.Space
+	tally       *tallySink
+	reg         *obs.Registry
+	effCooldown int
+	planHas     map[policy.Mechanism]bool
+
+	// dataDead marks endpoints whose backing state is known lost (killed)
+	// and not yet restored by a rejoin repair. Wipes deliberately do NOT
+	// set it: silent state loss must not excuse the durability audit.
+	dataDead []bool
+
+	// lossArmed goes false — permanently — once every replica of some
+	// shard was dataDead at the same time: from then on missing blocks are
+	// legitimate and the durability audit stops.
+	lossArmed bool
+
+	lastFailStep  int  // most recent staging_failure step, -1 before any
+	durabilityHit bool // durability reported once per run
+	violations    []Violation
+	probeBoxes    []grid.Box
+}
+
+func (h *harness) violate(invariant string, step int, format string, args ...any) {
+	h.violations = append(h.violations, Violation{
+		Invariant: invariant,
+		Step:      step,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Run drives one schedule through the real engine and returns the
+// violations its invariant registry found. The run is hermetic: loopback
+// TCP servers, an in-memory event log, a private metrics registry.
+func Run(s Schedule) (*RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	domain := grid.NewBox(grid.IV(0, 0, 0), grid.IV(domainSide-1, domainSide-1, domainSide-1))
+	amrCfg := amr.Config{Domain: domain, MaxLevel: 1, NRanks: 8}
+	var sim solver.Simulation
+	if s.App == "polytropic-gas" {
+		sim = solver.NewPolytropicGas(solver.GasConfig{AMR: amrCfg})
+	} else {
+		sim = solver.NewAdvectionDiffusion(solver.AdvDiffConfig{AMR: amrCfg})
+	}
+
+	var logBuf bytes.Buffer
+	tally := &tallySink{inner: obs.NewJSONLSink(&logBuf)}
+	em := obs.NewEmitter(tally)
+	reg := obs.NewRegistry()
+
+	h := &harness{
+		s:            s,
+		tally:        tally,
+		reg:          reg,
+		lossArmed:    true,
+		lastFailStep: -1,
+		dataDead:     make([]bool, s.Servers),
+		planHas:      make(map[policy.Mechanism]bool),
+		probeBoxes:   probeBoxes(),
+	}
+	tally.onUp = func(ep int) {
+		if ep >= 0 && ep < len(h.dataDead) {
+			h.dataDead[ep] = false
+		}
+	}
+
+	var closers []io.Closer
+	fail := func(err error) (*RunResult, error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, err
+	}
+	addrs := make([]string, 0, s.Servers)
+	for i := 0; i < s.Servers; i++ {
+		space := staging.NewSpace(1, s.SqueezeBytes, domain)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("chaos: staging listen: %w", err))
+		}
+		gate := faultnet.NewGate(ln)
+		var wrapped net.Listener = gate
+		if s.Net != nil {
+			wrapped = faultnet.Listen(wrapped, s.Net.plan())
+		}
+		srv := staging.ServeOn(wrapped, space)
+		srv.Observe(reg)
+		addrs = append(addrs, ln.Addr().String())
+		h.gates = append(h.gates, gate)
+		h.spaces = append(h.spaces, space)
+		closers = append(closers, srv)
+	}
+	pool, err := staging.NewPool(addrs, domain, staging.PoolOptions{
+		Replicas:    s.Replicas,
+		Concurrency: s.Concurrency,
+		Client: staging.ClientOptions{
+			OpTimeout:   2 * time.Second,
+			MaxRetries:  1,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  10 * time.Millisecond,
+		},
+		Events:  em,
+		Metrics: reg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, pool)
+	h.pool = pool
+
+	cfg := core.Config{
+		Machine:                sysmodel.Intrepid(),
+		SimCores:               simCores,
+		StagingCores:           stagingCores,
+		Objective:              objectiveOf(s.Objective),
+		StaticPlacement:        policy.PlaceInTransit,
+		EnableHybrid:           s.Hybrid,
+		Staging:                pool,
+		StagingFailureCooldown: s.Cooldown,
+		StagingConcurrency:     s.Concurrency,
+		AfterStep:              h.afterStep,
+		Obs:                    em,
+		Metrics:                reg,
+	}
+	for _, m := range s.Adapt {
+		switch m {
+		case "application":
+			cfg.Enable.Application = true
+		case "middleware":
+			cfg.Enable.Middleware = true
+		case "resource":
+			cfg.Enable.Resource = true
+		}
+	}
+	if len(s.Factors) > 0 {
+		cfg.Hints.Mode = policy.AppRangeBased
+		cfg.Hints.FactorPhases = []policy.FactorPhase{{FromStep: 0, Factors: s.Factors}}
+	}
+	for _, m := range policy.Plan(cfg.Objective) {
+		h.planHas[m] = true
+	}
+	h.effCooldown = effectiveCooldown(s.Cooldown)
+
+	wf, err := core.NewWorkflow(cfg, sim)
+	if err != nil {
+		return fail(err)
+	}
+	// Close order (last-attached first): pool drains its buffered events,
+	// servers shut down, the emitter flushes the JSONL log last.
+	wf.AddCloser(em)
+	for _, c := range closers {
+		wf.AddCloser(c)
+	}
+	h.wf = wf
+
+	res := wf.Run(s.Steps)
+
+	// Final audit: per-step audits run before that step's faults apply, so
+	// a fault scheduled at the last step (a wipe, in particular) is only
+	// visible here.
+	h.checkDurability(s.Steps - 1)
+	durabilityChecked := h.durabilityArmed()
+
+	if err := wf.Close(); err != nil {
+		return nil, fmt.Errorf("chaos: close: %w", err)
+	}
+	h.checkEndOfRun(res)
+
+	return &RunResult{
+		Schedule:          s,
+		Violations:        h.violations,
+		EventLog:          append([]byte(nil), logBuf.Bytes()...),
+		Steps:             res.Steps,
+		DegradedSteps:     countDegraded(res.Steps),
+		DurabilityChecked: durabilityChecked,
+	}, nil
+}
+
+func objectiveOf(name string) policy.Objective {
+	switch name {
+	case "util":
+		return policy.MaxStagingUtilization
+	case "movement":
+		return policy.MinDataMovement
+	}
+	return policy.MinTimeToSolution
+}
+
+// effectiveCooldown mirrors core.Config.withDefaults.
+func effectiveCooldown(c int) int {
+	if c == 0 {
+		return 2
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+func countDegraded(steps []core.StepRecord) int {
+	n := 0
+	for _, rec := range steps {
+		if rec.PlacementReason == policy.ReasonStagingFailure {
+			n++
+		}
+	}
+	return n
+}
+
+// probeBoxes are the durability tracer blocks: tiny 2³ boxes at spread-out
+// corners of the domain so the Morton router lands them on different
+// shards. One copy of each is put per step under probeVar and never
+// dropped, giving the audit state that outlives the workflow's
+// produce-consume-drop cycle.
+func probeBoxes() []grid.Box {
+	at := func(x, y, z int) grid.Box {
+		return grid.NewBox(grid.IV(x, y, z), grid.IV(x+1, y+1, z+1))
+	}
+	m := domainSide - 2
+	return []grid.Box{at(0, 0, 0), at(m, 0, 0), at(0, m, 0), at(m, m, m)}
+}
+
+// afterStep is the harness's hook on the workflow's step barrier. Order
+// matters: first the just-finished step is judged against the invariant
+// registry under the fault state it actually ran under, then this step's
+// scheduled faults fire, then the probe blocks are put so the next audit
+// has fresh state to track.
+func (h *harness) afterStep(step int) {
+	rec := h.record(step)
+	h.checkDegradationSoundness(step, rec)
+	h.checkPolicyConformance(step, rec)
+	h.checkDurability(step)
+	h.applyFaults(step)
+	h.updateLossArmed()
+	h.probePut(step)
+}
+
+func (h *harness) record(step int) core.StepRecord {
+	steps := h.wf.Result().Steps
+	return steps[step]
+}
+
+func (h *harness) applyFaults(step int) {
+	for _, k := range h.s.Kills {
+		if k.At == step {
+			h.gates[k.Server].Kill()
+			h.spaces[k.Server].Clear()
+			h.dataDead[k.Server] = true
+		}
+		if k.Revive != 0 && k.Revive == step {
+			h.gates[k.Server].Revive()
+		}
+	}
+	if w := h.s.Wipe; w != nil && w.At == step {
+		// Silent state loss: the space empties but the gate stays up and
+		// dataDead is deliberately NOT set — the audit must catch this.
+		h.spaces[w.Server].Clear()
+	}
+}
+
+// updateLossArmed disarms the durability audit permanently once any
+// shard's full replica set is dataDead at the same time: from that moment
+// the pool is allowed to have lost blocks.
+func (h *harness) updateLossArmed() {
+	if !h.lossArmed {
+		return
+	}
+	n := h.s.Servers
+	for shard := 0; shard < n; shard++ {
+		allDead := true
+		for j := 0; j < h.s.Replicas; j++ {
+			if !h.dataDead[(shard+j)%n] {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			h.lossArmed = false
+			return
+		}
+	}
+}
+
+// probePut stores this step's tracer blocks. Failures are tolerated — a
+// full outage or a memory squeeze legitimately rejects puts, and the pool
+// records only successful puts in the manifest the audit checks.
+func (h *harness) probePut(step int) {
+	for i, box := range h.probeBoxes {
+		d := field.New(box, 1)
+		comp := d.Comp(0)
+		for j := range comp {
+			comp[j] = float64(step*31 + i)
+		}
+		_ = h.pool.Put(probeVar, step, d)
+	}
+}

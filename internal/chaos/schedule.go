@@ -1,0 +1,334 @@
+// Package chaos is a deterministic chaos-exploration harness for the
+// coupled workflow: it generates seeded random fault schedules (endpoint
+// kills and revives at arbitrary steps, faultnet latency/drop/corrupt
+// plans, staging-memory squeezes, staging concurrency 1..8) over the
+// replicated staging.Pool and the real core.Workflow, runs every schedule
+// through the real engine, and checks a registry of cross-layer invariants
+// after every step. When an invariant is violated, an automatic shrinker
+// minimizes the schedule to a smallest failing repro and writes it as a
+// runnable JSON file that replays byte for byte.
+//
+// The trustworthiness argument: PRs 1–4 hand-wrote a handful of crash and
+// rejoin scenarios; trigger-detection work on adaptive workflows shows the
+// rare data-dependent states are exactly where adaptive runtimes break, so
+// the schedule space is searched rather than sampled by hand. Every
+// schedule is a pure function of its seed, so a violating seed is a
+// complete bug report.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+)
+
+// Kill crashes one staging server after step At completes: the gate severs
+// in-flight connections and refuses accepts, and the server's backing space
+// is cleared (process death loses state). Revive restores the listener
+// after step Revive completes; 0 means the server never comes back. Revive
+// alone does not restore data — the pool's anti-entropy repair does, when
+// the endpoint's half-open probe succeeds.
+type Kill struct {
+	Server int `json:"server"`
+	At     int `json:"at"`
+	Revive int `json:"revive,omitempty"`
+}
+
+// Wipe silently clears one server's backing space after step At completes
+// without touching its gate — modeled bit rot the transport layer cannot
+// see. No generated schedule contains a Wipe: it is the test-only hook the
+// acceptance tests use to seed a deliberate durability violation that the
+// explorer must catch and shrink. Unlike a Kill, a Wipe never disarms the
+// durability audit: undetected state loss is exactly the bug class the
+// audit exists to catch.
+type Wipe struct {
+	Server int `json:"server"`
+	At     int `json:"at"`
+}
+
+// NetFault is the faultnet plan applied to every staging server's listener:
+// deterministic per-connection latency, byte budgets, and seeded
+// probabilistic corruption, exactly as `xlayer run -fault` wires it.
+type NetFault struct {
+	Seed           int64   `json:"seed"`
+	LatencyUS      int     `json:"latency_us,omitempty"`
+	DropAfterBytes int64   `json:"drop_after_bytes,omitempty"`
+	TruncateRate   float64 `json:"truncate_rate,omitempty"`
+	CorruptRate    float64 `json:"corrupt_rate,omitempty"`
+	RefuseAccepts  int     `json:"refuse_accepts,omitempty"`
+}
+
+// errorProducing reports whether the plan can surface transport errors to
+// the pool (as opposed to latency, which only slows clean round trips).
+func (f *NetFault) errorProducing() bool {
+	if f == nil {
+		return false
+	}
+	return f.DropAfterBytes > 0 || f.TruncateRate > 0 || f.CorruptRate > 0 || f.RefuseAccepts != 0
+}
+
+// Schedule is one deterministic chaos scenario: the workload shape, the
+// pool topology, and the faults injected at step boundaries. A schedule is
+// a pure function of its seed (see Generate), serializes to JSON, and
+// replays exactly — the repro files the shrinker writes are Schedules.
+type Schedule struct {
+	Seed        int64 `json:"seed"`
+	Steps       int   `json:"steps"`
+	Servers     int   `json:"servers"`
+	Replicas    int   `json:"replicas"`
+	Concurrency int   `json:"concurrency"`
+
+	// App selects the simulation: "advection-diffusion" (default) or
+	// "polytropic-gas".
+	App string `json:"app,omitempty"`
+
+	// Objective is the adaptation objective: "tts" (default), "util", or
+	// "movement".
+	Objective string `json:"objective,omitempty"`
+
+	// Adapt lists the enabled adaptation mechanisms ("application",
+	// "middleware", "resource").
+	Adapt []string `json:"adapt,omitempty"`
+
+	// Factors are the application layer's hinted reduction factors
+	// (range-based mode). Empty disables reduction.
+	Factors []int `json:"factors,omitempty"`
+
+	// Hybrid allows split in-situ/in-transit placement.
+	Hybrid bool `json:"hybrid,omitempty"`
+
+	// Cooldown is the staging-failure cooldown passed to the engine
+	// (0 = the engine default, negative disables it).
+	Cooldown int `json:"cooldown,omitempty"`
+
+	// SqueezeBytes, when > 0, caps every staging server's space at this
+	// many bytes — the staging-memory squeeze. Puts beyond the cap fail
+	// with ErrNoMemory and the workflow degrades the step.
+	SqueezeBytes int64 `json:"squeeze_bytes,omitempty"`
+
+	Kills []Kill    `json:"kills,omitempty"`
+	Net   *NetFault `json:"net,omitempty"`
+	Wipe  *Wipe     `json:"wipe,omitempty"`
+}
+
+// FaultCount is the shrinker's size metric: every discrete fault source in
+// the schedule counts one.
+func (s Schedule) FaultCount() int {
+	n := len(s.Kills)
+	if s.Net != nil {
+		n++
+	}
+	if s.SqueezeBytes > 0 {
+		n++
+	}
+	if s.Wipe != nil {
+		n++
+	}
+	return n
+}
+
+// DeterministicByContract reports whether the runtime promises a byte-
+// identical event log for repeated runs of s. The deterministic pool path
+// (Concurrency <= 1) promises it for any fault mix; the concurrent path
+// promises it only while no transport-visible fault can fire, because
+// hedged reads make the presence of failover events timing-dependent once
+// an endpoint is mid-failure. The replay-determinism invariant is enforced
+// exactly where the contract holds.
+func (s Schedule) DeterministicByContract() bool {
+	if s.Concurrency <= 1 {
+		return true
+	}
+	return len(s.Kills) == 0 && !s.Net.errorProducing() && s.SqueezeBytes == 0 && s.Wipe == nil
+}
+
+// Validate rejects schedules the harness cannot set up.
+func (s Schedule) Validate() error {
+	if s.Steps < 1 {
+		return fmt.Errorf("chaos: schedule needs at least 1 step, got %d", s.Steps)
+	}
+	if s.Servers < 1 {
+		return fmt.Errorf("chaos: schedule needs at least 1 server, got %d", s.Servers)
+	}
+	if s.Replicas < 1 || s.Replicas > s.Servers {
+		return fmt.Errorf("chaos: %d replicas need 1..%d", s.Replicas, s.Servers)
+	}
+	if s.Concurrency < 0 || s.Concurrency > 64 {
+		return fmt.Errorf("chaos: concurrency %d out of range", s.Concurrency)
+	}
+	for _, k := range s.Kills {
+		if k.Server < 0 || k.Server >= s.Servers {
+			return fmt.Errorf("chaos: kill targets server %d of %d", k.Server, s.Servers)
+		}
+		if k.At < 0 || k.At >= s.Steps {
+			return fmt.Errorf("chaos: kill at step %d outside run of %d steps", k.At, s.Steps)
+		}
+		if k.Revive != 0 && k.Revive <= k.At {
+			return fmt.Errorf("chaos: revive step %d not after kill step %d", k.Revive, k.At)
+		}
+	}
+	if w := s.Wipe; w != nil {
+		if w.Server < 0 || w.Server >= s.Servers {
+			return fmt.Errorf("chaos: wipe targets server %d of %d", w.Server, s.Servers)
+		}
+		if w.At < 0 || w.At >= s.Steps {
+			return fmt.Errorf("chaos: wipe at step %d outside run of %d steps", w.At, s.Steps)
+		}
+	}
+	switch s.App {
+	case "", "advection-diffusion", "polytropic-gas":
+	default:
+		return fmt.Errorf("chaos: unknown app %q", s.App)
+	}
+	switch s.Objective {
+	case "", "tts", "util", "movement":
+	default:
+		return fmt.Errorf("chaos: unknown objective %q", s.Objective)
+	}
+	for _, m := range s.Adapt {
+		switch m {
+		case "application", "middleware", "resource":
+		default:
+			return fmt.Errorf("chaos: unknown mechanism %q", m)
+		}
+	}
+	return nil
+}
+
+// Generate derives a schedule from a seed: same seed, same schedule,
+// forever. The distribution aims chaos where the machinery lives — most
+// schedules kill at least one server, replicated topologies dominate, and
+// the concurrent data path and the error-producing network plans are
+// exercised but never combined in a way that voids the determinism
+// contract the replay invariant depends on.
+func Generate(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{
+		Seed:    seed,
+		Steps:   6 + rng.Intn(7), // 6..12
+		Servers: 2 + rng.Intn(4), // 2..5
+	}
+	s.Replicas = 1 + rng.Intn(min(s.Servers, 3))
+	if rng.Intn(3) == 0 { // one third of schedules use the concurrent path
+		s.Concurrency = 2 + rng.Intn(7) // 2..8
+	} else {
+		s.Concurrency = 1
+	}
+	if rng.Intn(4) == 0 {
+		s.App = "polytropic-gas"
+	}
+	switch rng.Intn(6) {
+	case 0:
+		s.Objective = "util"
+	case 1:
+		s.Objective = "movement"
+	}
+	adaptSets := [][]string{
+		nil,
+		{"middleware"},
+		{"application", "middleware"},
+		{"application", "middleware", "resource"},
+		{"application", "resource"},
+	}
+	s.Adapt = adaptSets[rng.Intn(len(adaptSets))]
+	if contains(s.Adapt, "application") {
+		factorSets := [][]int{{2, 4}, {2, 4, 8}, {2, 4, 8, 16}}
+		s.Factors = factorSets[rng.Intn(len(factorSets))]
+	}
+	s.Hybrid = contains(s.Adapt, "middleware") && rng.Intn(4) == 0
+	if rng.Intn(5) == 0 {
+		s.Cooldown = 1 + rng.Intn(3)
+	}
+
+	// Faults. Kills are the main dish: up to three per run.
+	nKills := rng.Intn(4)
+	for i := 0; i < nKills; i++ {
+		k := Kill{
+			Server: rng.Intn(s.Servers),
+			At:     rng.Intn(s.Steps),
+		}
+		if rng.Intn(3) != 0 { // most crashes rejoin
+			k.Revive = k.At + 1 + rng.Intn(3)
+		}
+		s.Kills = append(s.Kills, k)
+	}
+	// Network plans: latency composes with anything; byte budgets and
+	// corruption only ride the deterministic pool path (see
+	// DeterministicByContract) and use budgets large enough that the
+	// durability audit's own reads survive a retry.
+	if rng.Intn(3) == 0 {
+		nf := &NetFault{Seed: rng.Int63n(1 << 30), LatencyUS: 50 + rng.Intn(200)}
+		if s.Concurrency <= 1 && rng.Intn(2) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				nf.DropAfterBytes = int64(256<<10) + rng.Int63n(256<<10)
+			case 1:
+				nf.TruncateRate = 0.002 + rng.Float64()*0.01
+			case 2:
+				nf.CorruptRate = 0.002 + rng.Float64()*0.01
+			}
+		}
+		s.Net = nf
+	}
+	// Memory squeeze: a per-server cap small enough that some steps will
+	// not fit and must degrade.
+	if rng.Intn(6) == 0 {
+		s.SqueezeBytes = int64(8<<10) + rng.Int63n(56<<10)
+	}
+	return s
+}
+
+// WriteSchedule serializes s as indented JSON.
+func WriteSchedule(w io.Writer, s Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSchedule parses a schedule, rejecting unknown fields and invalid
+// values so a repro file always either replays or fails loudly.
+func ReadSchedule(r io.Reader) (Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// SaveFile writes s to path as a runnable repro.
+func SaveFile(path string, s Schedule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	if err := WriteSchedule(f, s); err != nil {
+		f.Close()
+		return fmt.Errorf("chaos: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a repro schedule from path.
+func LoadFile(path string) (Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: %w", err)
+	}
+	defer f.Close()
+	return ReadSchedule(f)
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package chaos
+
+import "fmt"
+
+// Shrink greedily minimizes a violating schedule. Each pass proposes
+// simplifications — truncate the run, drop a fault, remove a server, drop
+// the replication or concurrency, strip adaptation knobs — and keeps any
+// candidate that still violates the same invariant the original tripped
+// first. It restarts candidate generation from every accepted candidate and
+// stops at a fixpoint or when the verification-run budget is spent.
+//
+// The returned schedule always violates (it is the input when nothing
+// smaller does), and the returned violations are the ones it produces.
+func Shrink(s Schedule, violations []Violation, budget int) (Schedule, []Violation, error) {
+	if len(violations) == 0 {
+		return s, nil, fmt.Errorf("chaos: Shrink called with no violations")
+	}
+	target := violations[0].Invariant
+	cur, curViol := s, violations
+	runs := 0
+	for runs < budget {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if runs >= budget {
+				break
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			rr, err := Verify(cand)
+			runs++
+			if err != nil {
+				return cur, curViol, err
+			}
+			if !violates(rr.Violations, target) {
+				continue
+			}
+			cur, curViol = cand, rr.Violations
+			improved = true
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curViol, nil
+}
+
+func violates(list []Violation, invariant string) bool {
+	for _, v := range list {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates proposes strictly simpler variants of s, biggest cuts first so
+// the greedy loop converges in few runs.
+func candidates(s Schedule) []Schedule {
+	var out []Schedule
+	add := func(c Schedule) { out = append(out, c) }
+
+	// Truncate the run: just past the last fault, then halves, then -1.
+	if last := lastFaultStep(s); last >= 0 && last+2 < s.Steps {
+		add(truncateSteps(s, last+2))
+	}
+	if s.Steps > 2 {
+		add(truncateSteps(s, (s.Steps+1)/2))
+	}
+	if s.Steps > 1 {
+		add(truncateSteps(s, s.Steps-1))
+	}
+
+	// Drop whole fault classes, then individual kills.
+	if s.Net != nil {
+		c := s
+		c.Net = nil
+		add(c)
+	}
+	if s.Wipe != nil {
+		c := s
+		c.Wipe = nil
+		add(c)
+	}
+	if s.SqueezeBytes > 0 {
+		c := s
+		c.SqueezeBytes = 0
+		add(c)
+	}
+	for i := range s.Kills {
+		c := s
+		c.Kills = dropKill(s.Kills, i)
+		add(c)
+	}
+	// Make each non-reviving kill revive right away.
+	for i, k := range s.Kills {
+		if k.Revive == 0 {
+			c := s
+			ks := append([]Kill(nil), s.Kills...)
+			ks[i].Revive = k.At + 1
+			c.Kills = ks
+			add(c)
+		}
+	}
+
+	// Shrink the cluster.
+	if s.Servers > 1 && s.Replicas <= s.Servers-1 {
+		add(dropServer(s))
+	}
+	if s.Replicas > 1 {
+		c := s
+		c.Replicas = 1
+		add(c)
+	}
+	if s.Concurrency > 1 {
+		c := s
+		c.Concurrency = 1
+		add(c)
+	}
+
+	// Strip adaptation knobs.
+	if s.Hybrid {
+		c := s
+		c.Hybrid = false
+		add(c)
+	}
+	if s.Cooldown != 0 {
+		c := s
+		c.Cooldown = 0
+		add(c)
+	}
+	if len(s.Factors) > 0 {
+		c := s
+		c.Factors = nil
+		add(c)
+	}
+	for i := range s.Adapt {
+		c := s
+		c.Adapt = dropString(s.Adapt, i)
+		add(c)
+	}
+	if s.App != "" {
+		c := s
+		c.App = ""
+		add(c)
+	}
+	if s.Objective != "" {
+		c := s
+		c.Objective = ""
+		add(c)
+	}
+	return out
+}
+
+// lastFaultStep is the latest step any fault fires at, -1 with no faults.
+func lastFaultStep(s Schedule) int {
+	last := -1
+	for _, k := range s.Kills {
+		if k.At > last {
+			last = k.At
+		}
+	}
+	if s.Wipe != nil && s.Wipe.At > last {
+		last = s.Wipe.At
+	}
+	return last
+}
+
+// dropServer removes the highest-indexed server, deleting faults that
+// target it.
+func dropServer(s Schedule) Schedule {
+	c := s
+	gone := s.Servers - 1
+	c.Servers = gone
+	c.Kills = nil
+	for _, k := range s.Kills {
+		if k.Server != gone {
+			c.Kills = append(c.Kills, k)
+		}
+	}
+	if s.Wipe != nil && s.Wipe.Server == gone {
+		c.Wipe = nil
+	}
+	return c
+}
+
+func dropKill(ks []Kill, i int) []Kill {
+	out := make([]Kill, 0, len(ks)-1)
+	out = append(out, ks[:i]...)
+	return append(out, ks[i+1:]...)
+}
+
+func dropString(ss []string, i int) []string {
+	out := make([]string, 0, len(ss)-1)
+	out = append(out, ss[:i]...)
+	return append(out, ss[i+1:]...)
+}

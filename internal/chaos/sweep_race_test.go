@@ -1,0 +1,25 @@
+//go:build race
+
+package chaos
+
+import "testing"
+
+// TestChaosShortSweepRace runs a small seeded exploration sweep under the
+// race detector (`make race` sets the build tag): every schedule exercises
+// the real TCP staging pool, the concurrent analysis path, and the fault
+// hooks, so the sweep doubles as a data-race probe over the whole stack.
+// Any invariant violation fails the build.
+func TestChaosShortSweepRace(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	rep, err := Explore(Options{Seeds: seeds, StartSeed: 100, MaxSteps: 6})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("seed %d violated: %v (shrunk: %+v)",
+			f.Schedule.Seed, f.Violations[0], f.Shrunk)
+	}
+}

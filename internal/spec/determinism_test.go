@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// runSpecEvents builds and runs one concurrent-pool spec with the event
+// stream wired to a file, and returns the resulting event log bytes.
+func runSpecEvents(t *testing.T, conc int, eventsPath string) []byte {
+	t.Helper()
+	w, err := Parse(strings.NewReader(fmt.Sprintf(`{
+		"application": "advection-diffusion",
+		"domain": [16, 16, 16],
+		"adapt": ["application", "middleware"],
+		"factors": [2, 4],
+		"staging_tcp": true,
+		"staging_servers": 3,
+		"staging_replicas": 2,
+		"staging_concurrency": %d,
+		"steps": 4,
+		"events": %q
+	}`, conc, eventsPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wf.Run(w.StepsOrDefault())
+	if err := wf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("ran %d steps, want 4", len(res.Steps))
+	}
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty event log")
+	}
+	return data
+}
+
+// TestSpecEventLogDeterministic pins the determinism contract of the
+// parallel staging data path at the spec level: with a healthy pool the
+// post-DrainEvents event log must be byte-identical across repeated
+// invocations at every concurrency level, because pool events are buffered
+// and flushed in (key, rank) order at the step barrier and all timestamps
+// come from the virtual model clock.
+func TestSpecEventLogDeterministic(t *testing.T) {
+	for _, conc := range []int{1, 2, 8} {
+		conc := conc
+		t.Run(fmt.Sprintf("conc%d", conc), func(t *testing.T) {
+			dir := t.TempDir()
+			first := runSpecEvents(t, conc, filepath.Join(dir, "a.jsonl"))
+			second := runSpecEvents(t, conc, filepath.Join(dir, "b.jsonl"))
+			if !bytes.Equal(first, second) {
+				t.Fatalf("event logs differ across runs at staging_concurrency=%d:\nrun1 %d bytes, run2 %d bytes",
+					conc, len(first), len(second))
+			}
+		})
+	}
+}
+
+// TestSpecEventLogGolden pins the serialized (concurrency 1) event log
+// against a committed golden file, so accidental changes to event ordering,
+// fields, or the virtual clock show up as a diff. Regenerate with
+// `go test ./internal/spec -run TestSpecEventLogGolden -update`.
+func TestSpecEventLogGolden(t *testing.T) {
+	got := runSpecEvents(t, 1, filepath.Join(t.TempDir(), "events.jsonl"))
+	golden := filepath.Join("testdata", "events_conc1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("event log drifted from %s (%d bytes, want %d); rerun with -update if intentional",
+			golden, len(got), len(want))
+	}
+}

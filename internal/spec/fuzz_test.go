@@ -1,0 +1,53 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecParse fuzzes the workflow-spec decoder: any input that Parse
+// accepts must re-emit (json.Marshal) to a spec that parses again to the
+// identical workflow — the parse/emit round trip is an identity on the
+// accepted language — and no input may panic the parser.
+func FuzzSpecParse(f *testing.F) {
+	f.Add([]byte(`{"application": "polytropic-gas", "domain": [16, 16, 16]}`))
+	f.Add([]byte(`{
+		"application": "advection-diffusion",
+		"domain": [32, 32, 32],
+		"machine": "titan",
+		"objective": "util",
+		"adapt": ["application", "middleware", "resource"],
+		"factors": [2, 4, 8],
+		"steps": 6,
+		"staging_tcp": true,
+		"staging_servers": 3,
+		"staging_replicas": 2,
+		"staging_concurrency": 8,
+		"staging_failure_cooldown": 2
+	}`))
+	f.Add([]byte(`{"application": "polytropic-gas", "domain": [16, 16, 16],
+		"fault": "seed=42,refuse=-1", "staging_kill": "server=1,at=3,revive=6",
+		"staging_tcp": true, "staging_servers": 2}`))
+	f.Add([]byte(`{"application": "nope"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		out, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-emit: %v", err)
+		}
+		w2, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-emitted spec rejected: %v\nemitted: %s", err, out)
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Fatalf("parse(emit(parse(x))) != parse(x):\nfirst:  %+v\nsecond: %+v", w, w2)
+		}
+	})
+}

@@ -249,6 +249,21 @@ func (p *Pool) HealthyEndpoints() (healthy, total int) {
 	return healthy, len(p.eps)
 }
 
+// DownEndpoints snapshots each endpoint's circuit-breaker state, indexed by
+// endpoint: true means the breaker is open and the endpoint is out of
+// rotation. The chaos harness cross-checks degraded steps against this
+// snapshot — a step may only be marked staging_failure when some shard's
+// full replica set was unavailable.
+func (p *Pool) DownEndpoints() []bool {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	out := make([]bool, len(p.eps))
+	for i, ep := range p.eps {
+		out[i] = ep.down
+	}
+	return out
+}
+
 // TransportStats sums the endpoint clients' cumulative retry and reconnect
 // counts (the workflow snapshots these into per-step trace records).
 func (p *Pool) TransportStats() (retries, reconnects int64) {
@@ -301,9 +316,10 @@ func (p *Pool) worker(ep *endpoint) {
 // when the job starts executing — not while it waits in the queue, which
 // would let a backed-up endpoint hold slots and starve idle peers — so
 // Concurrency bounds executing operations while each endpoint's buffered
-// channel bounds its queue. Only coordinator goroutines submit; workers
-// never do (repair calls peer clients directly), so the queue cannot
-// deadlock on itself.
+// channel bounds its queue. Only coordinator goroutines submit; a repair
+// running on a worker enqueues its peer fetches raw — no semaphore, slot
+// handed back while it waits (see fetchFrom) — so the queues cannot
+// deadlock on themselves.
 func (p *Pool) submit(ep *endpoint, fn func()) {
 	ep.jobs <- func() {
 		p.sem <- struct{}{}
@@ -398,7 +414,13 @@ func (p *Pool) usable(ep *endpoint) bool {
 	if _, err := ep.client.MemUsed(); err != nil {
 		return false
 	}
-	p.repair(ep)
+	if !p.repair(ep) {
+		// Partial repair must not rejoin: the endpoint's primary answers
+		// become authoritative the moment it is back in rotation, and a
+		// store missing blocks a failed re-put dropped would serve
+		// clean-but-short reads. Stay down; a later probe retries the pass.
+		return false
+	}
 	p.rejoin(ep)
 	return true
 }
@@ -507,7 +529,14 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 		err    error
 	}
 	ch := make(chan putRes, p.replicas)
-	for j := 0; j < p.replicas; j++ {
+	// Replicas are submitted before the primary: an anti-entropy repair of
+	// the primary endpoint fetches this shard's blocks through the replica
+	// holders' worker queues (see fetchFrom), and enqueueing the replica
+	// writes first guarantees the fetch — which a repair can only enqueue
+	// after the primary-side write was offered to the breaker — lands behind
+	// them in FIFO order, so the repair never misses a block whose primary
+	// write it raced.
+	for j := p.replicas - 1; j >= 0; j-- {
 		ep := p.eps[(primary+j)%n]
 		name := varName
 		if j > 0 {
@@ -666,12 +695,15 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 
 // getShardC is the concurrent-path shard read. The primary is always asked;
 // when it is suspect (down or mid-failure-streak) the first replica is
-// hedged concurrently so a primary timeout does not stall the shard. A clean
-// block answer wins immediately; a replica's NotFound is only trusted once
-// the primary has answered (the primary's NotFound is authoritative, a
-// replica's is last-resort — same semantics as the serial fallthrough).
-// Remaining replicas are tried sequentially only after the launched requests
-// all failed.
+// hedged concurrently so a primary timeout does not stall the shard. The
+// primary's answer is authoritative whenever it arrives: a put succeeds
+// with any one replica-set write, so the replica variable can legitimately
+// be missing blocks whose replica-side writes failed, and returning a
+// replica's clean-but-partial answer over a healthy primary's would drop
+// them. A hedged replica answer — blocks or NotFound — is therefore held
+// and used only once the primary has failed or been skipped. Remaining
+// replicas are tried sequentially only after the launched requests all
+// failed.
 func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box) ([]*field.BoxData, error) {
 	n := len(p.eps)
 	type shardAns struct {
@@ -716,33 +748,44 @@ func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box
 		next++
 	}
 	var lastErr error
-	primaryDone := false
-	replicaEmpty := -1 // j of a clean replica NotFound held until the primary answers
+	primaryFailed := false
+	replicaEmpty := -1                 // j of a clean replica NotFound held until the primary fails
+	var replicaBlocks []*field.BoxData // clean replica answer, held likewise
+	replicaJ := -1
 	for pending > 0 {
 		a := <-ch
 		pending--
-		if a.j == 0 {
-			primaryDone = true
-		}
 		switch {
 		case a.err != nil:
 			lastErr = a.err
+			if a.j == 0 {
+				primaryFailed = true
+			}
 		case a.skipped:
 			// Breaker open: not an answer.
+			if a.j == 0 {
+				primaryFailed = true
+			}
 		case a.notFound:
 			if a.j == 0 {
 				return nil, nil
 			}
 			replicaEmpty = a.j
 		default:
-			if a.j > 0 {
-				p.noteFailover(shard, p.eps[(shard+a.j)%n].idx)
+			if a.j == 0 {
+				return a.blocks, nil
 			}
-			return a.blocks, nil
+			replicaBlocks, replicaJ = a.blocks, a.j
 		}
-		if primaryDone && replicaEmpty >= 0 {
-			p.noteFailover(shard, p.eps[(shard+replicaEmpty)%n].idx)
-			return nil, nil
+		if primaryFailed {
+			if replicaBlocks != nil {
+				p.noteFailover(shard, p.eps[(shard+replicaJ)%n].idx)
+				return replicaBlocks, nil
+			}
+			if replicaEmpty >= 0 {
+				p.noteFailover(shard, p.eps[(shard+replicaEmpty)%n].idx)
+				return nil, nil
+			}
 		}
 		if pending == 0 && next < p.replicas {
 			read(next)
@@ -879,14 +922,20 @@ func (p *Pool) liveSnapshot() (vars []string, versions map[string][]int) {
 // succeeds, before it rejoins rotation: for every live (variable, version)
 // in the pool's manifest, the blocks the endpoint should hold — its own
 // shard's primaries plus the replica copies it hosts for its ring
-// predecessors — are fetched from surviving peers, the endpoint's stale
-// copies of those variables are dropped (re-putting is then idempotent even
-// when the crash did not lose the backing store), and the fetched blocks
-// are re-put. Versions whose every other replica also died are unrepairable
-// and silently lost, exactly like a single-server crash. Peer fetches call
-// the peer clients directly — never through the worker queues — so a repair
-// running inside a worker cannot deadlock the pipeline.
-func (p *Pool) repair(ep *endpoint) {
+// predecessors — are fetched from surviving peers and merged into its
+// store, and versions evicted pool-wide while it was down are dropped.
+// Versions whose every other replica also died are unrepairable
+// and silently lost, exactly like a single-server crash. Restored blocks
+// are re-put with repair-tagged sequence numbers (PutRepair) so an
+// in-flight put of the same block — queued behind the probe that triggered
+// this repair — replaces the restored copy when its own write finally runs
+// instead of appending a duplicate.
+//
+// repair reports whether the pass ran to completion: any transport failure
+// — a fetch that found no clean source, a failed drop or re-put — aborts
+// it and returns false, and the caller must keep the endpoint out of
+// rotation so its incomplete store cannot serve authoritative reads.
+func (p *Pool) repair(ep *endpoint) bool {
 	n := len(p.eps)
 	vars, versionsOf := p.liveSnapshot()
 
@@ -905,22 +954,32 @@ func (p *Pool) repair(ep *endpoint) {
 	blocks, bytes := 0, int64(0)
 	for _, varName := range vars {
 		versions := versionsOf[varName]
+		if len(versions) == 0 {
+			continue
+		}
 		for _, r := range roles {
 			name := r.name(varName)
-			// Fetch everything restorable first, then wipe, then re-put:
-			// a fetch failure must not destroy copies the endpoint may
-			// still hold.
-			restore := make(map[int][]*field.BoxData, len(versions))
-			for _, ver := range versions {
-				restore[ver] = p.fetchShard(r.shard, ep, varName, ver)
+			// Merge, never wipe: the endpoint may hold blocks that exist
+			// nowhere else (their replica writes failed while the pool was
+			// degraded), so only versions evicted pool-wide while it was
+			// down — everything below the oldest live version — are
+			// dropped. Restored blocks are re-put with repair-tagged
+			// sequence numbers; the server discards a restored copy it
+			// already holds, so repairing an intact store is a no-op.
+			if _, err := ep.client.DropBefore(name, versions[0]); err != nil {
+				return false
 			}
-			ep.client.DropBefore(name, 1<<30)
 			for _, ver := range versions {
-				for _, b := range restore[ver] {
-					if err := ep.client.Put(name, ver, b); err == nil {
-						blocks++
-						bytes += b.Bytes()
+				fetched, ok := p.fetchShard(r.shard, ep, varName, ver)
+				if !ok {
+					return false
+				}
+				for _, b := range fetched {
+					if err := ep.client.PutRepair(name, ver, b); err != nil {
+						return false
 					}
+					blocks++
+					bytes += b.Bytes()
 				}
 			}
 		}
@@ -928,14 +987,20 @@ func (p *Pool) repair(ep *endpoint) {
 	p.mRepairs.Inc()
 	p.mRepaired.Add(float64(blocks))
 	p.sinkEvent(ep.idx, rankRepair, func(e *obs.Emitter) { e.Repair(ep.idx, blocks, bytes) })
+	return true
 }
 
 // fetchShard reads one shard's blocks of varName@version from any healthy
 // member of the shard's replica set other than the endpoint being repaired.
-// Down peers are not probed here (probing recurses into repair); a shard
-// with no reachable source yields nothing.
-func (p *Pool) fetchShard(shard int, exclude *endpoint, varName string, version int) []*field.BoxData {
+// Down peers are not probed here (probing recurses into repair). ok is
+// false when a source failed mid-transport and no later source answered
+// cleanly — the caller cannot tell what it missed and must abort the
+// repair. A shard with no eligible source at all yields (nil, true): every
+// other replica died, the data is unrepairable, and the documented
+// lost-version semantics apply.
+func (p *Pool) fetchShard(shard int, exclude *endpoint, varName string, version int) ([]*field.BoxData, bool) {
 	n := len(p.eps)
+	failed := false
 	for j := 0; j < p.replicas; j++ {
 		src := p.eps[(shard+j)%n]
 		if src == exclude || p.isDown(src) {
@@ -945,17 +1010,49 @@ func (p *Pool) fetchShard(shard int, exclude *endpoint, varName string, version 
 		if j > 0 {
 			name = replicaVar(varName, shard)
 		}
-		blocks, err := src.client.GetBlocks(name, version, allRegion)
+		blocks, err := p.fetchFrom(src, name, version)
 		switch {
 		case err == nil:
 			p.opOK(src)
-			return blocks
+			return blocks, true
 		case errors.Is(err, ErrNotFound):
 			p.opOK(src)
-			return nil
+			return nil, true
 		default:
 			p.opFail(src)
+			failed = true
 		}
 	}
-	return nil
+	return nil, !failed
+}
+
+// fetchFrom reads every block of name@version from src for a repair pass.
+// On the concurrent path the read runs on src's own worker so it is
+// ordered behind the replica write of any put whose primary-side write the
+// repairing endpoint has already seen (putConcurrent enqueues replicas
+// first) — a direct client call here could read the replica variable an
+// instant before that write lands and the repair would silently drop the
+// block. The job goes straight onto src's queue, skipping the execution
+// semaphore, and the repair's own slot is handed back while it waits:
+// concurrent repairs each hold one slot, so borrowing a second could
+// exhaust the pool and deadlock the workers against each other. Down
+// sources are filtered by the caller, so src's worker is never parked in a
+// repair of its own and the queue drains.
+func (p *Pool) fetchFrom(src *endpoint, name string, version int) ([]*field.BoxData, error) {
+	if p.conc <= 1 {
+		return src.client.GetBlocks(name, version, allRegion)
+	}
+	type fetchRes struct {
+		blocks []*field.BoxData
+		err    error
+	}
+	done := make(chan fetchRes, 1)
+	src.jobs <- func() {
+		blocks, err := src.client.GetBlocks(name, version, allRegion)
+		done <- fetchRes{blocks, err}
+	}
+	<-p.sem // hand back the repair's execution slot while waiting
+	r := <-done
+	p.sem <- struct{}{}
+	return r.blocks, r.err
 }

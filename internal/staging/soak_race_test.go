@@ -84,7 +84,8 @@ func TestConcurrentPoolFaultSoak(t *testing.T) {
 		}
 
 		// conc writer goroutines ship this version while readers replay
-		// earlier versions through the hedged path.
+		// earlier, fully settled versions through the hedged path (reading
+		// the in-flight version would legitimately return a partial set).
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, conc)
 		errs := make(chan error, len(blocks)+2)
@@ -99,8 +100,10 @@ func TestConcurrentPoolFaultSoak(t *testing.T) {
 				}
 			}(b)
 		}
-		for _, rv := range []int{v - 1, v / 2} {
-			if rv < 0 {
+		for _, rv := range []int{v - 1, (v - 1) / 2} {
+			// Note (-1)/2 truncates to 0 in Go: the rv >= v half of the
+			// guard keeps version 0's iteration from reading itself.
+			if rv < 0 || rv >= v {
 				continue
 			}
 			wg.Add(1)

@@ -42,6 +42,13 @@ type Object struct {
 // NoSeq is the Seq of unsequenced puts; they always append.
 const NoSeq int64 = -1
 
+// isRepairSeq reports whether seq tags a block re-stored by the pool's
+// anti-entropy repair. Repair puts negate the client's (positive) unique
+// sequence number: retries stay idempotent through the same-seq branch of
+// put, while a racing normal put of the same block can recognize and
+// replace the restored copy instead of appending a duplicate.
+func isRepairSeq(seq int64) bool { return seq != NoSeq && seq < 0 }
+
 // server is one shard of the space.
 type server struct {
 	mu       sync.Mutex
@@ -59,6 +66,14 @@ func (s *server) put(o *Object) error {
 	defer s.mu.Unlock()
 	sz := o.Data.Bytes()
 	k := key(o.Var, o.Version)
+	replace := func(i int, old *Object) error {
+		if s.capacity > 0 && s.memUsed-old.Data.Bytes()+sz > s.capacity {
+			return ErrNoMemory
+		}
+		s.memUsed += sz - old.Data.Bytes()
+		s.objects[k][i] = o
+		return nil
+	}
 	// A sequenced put replaces the object with the same sequence number: a
 	// client replaying a put whose response was lost must not duplicate
 	// data (retry idempotency). Matching must NOT fall back to the box —
@@ -67,11 +82,32 @@ func (s *server) put(o *Object) error {
 	if o.Seq != NoSeq {
 		for i, old := range s.objects[k] {
 			if old.Seq == o.Seq {
-				if s.capacity > 0 && s.memUsed-old.Data.Bytes()+sz > s.capacity {
-					return ErrNoMemory
-				}
-				s.memUsed += sz - old.Data.Bytes()
-				s.objects[k][i] = o
+				return replace(i, old)
+			}
+		}
+	}
+	// A normal put can race the anti-entropy repair that already restored
+	// the same block from a surviving replica (the put's own write was
+	// still queued behind the probe when the repair fetched). The restored
+	// copy carries a repair-tagged sequence number and identical content,
+	// so the put replaces it instead of appending a duplicate. Content must
+	// match, not just the box: a coincident box from a different put holds
+	// different data and its restored copy must survive.
+	if o.Seq > 0 {
+		for i, old := range s.objects[k] {
+			if isRepairSeq(old.Seq) && old.Data.Equal(o.Data) {
+				return replace(i, old)
+			}
+		}
+	}
+	// A repair re-put merges: when the server already holds an identical
+	// block — the endpoint never lost its store, or the put that wrote it
+	// landed after the repair's fetch — the existing copy stands and the
+	// restored one is discarded, so repairing a healthy store is a no-op
+	// instead of a duplication.
+	if isRepairSeq(o.Seq) {
+		for _, old := range s.objects[k] {
+			if old.Data.Equal(o.Data) {
 				return nil
 			}
 		}

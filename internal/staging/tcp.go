@@ -630,6 +630,16 @@ func (c *Client) Put(varName string, version int, d *field.BoxData) error {
 	return c.do(func() error { return c.put(varName, version, seq, d) })
 }
 
+// PutRepair stores a block restored by the pool's anti-entropy repair. The
+// sequence number is negated so the server can tell a restored copy from a
+// first-hand write: a normal put racing the repair of its own block then
+// replaces the restored copy instead of duplicating it, while the unique
+// magnitude keeps retries idempotent.
+func (c *Client) PutRepair(varName string, version int, d *field.BoxData) error {
+	seq := -(c.seqBase + c.seq.Add(1))
+	return c.do(func() error { return c.put(varName, version, seq, d) })
+}
+
 func (c *Client) put(varName string, version int, seq int64, d *field.BoxData) error {
 	if err := c.writeHeader(opPut, varName, version); err != nil {
 		return err

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/chaos"
+	"crosslayer/internal/core"
+	"crosslayer/internal/policy"
+)
+
+// chaosSteps runs one small seeded fault schedule and returns its per-step
+// trace — real records shaped by kills, failover and degradation rather
+// than hand-built fixtures.
+func chaosSteps(t *testing.T) []core.StepRecord {
+	t.Helper()
+	rr, err := chaos.Run(chaos.Schedule{
+		Seed: 7, Steps: 4, Servers: 2, Replicas: 2, Concurrency: 1,
+		Adapt: []string{"application", "middleware"}, Factors: []int{2, 4},
+		Kills: []chaos.Kill{{Server: 0, At: 1, Revive: 2}},
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(rr.Violations) > 0 {
+		t.Fatalf("fixture schedule violated an invariant: %v", rr.Violations[0])
+	}
+	if len(rr.Steps) != 4 {
+		t.Fatalf("fixture ran %d steps", len(rr.Steps))
+	}
+	return rr.Steps
+}
+
+// TestChaosTraceJSONLRoundTrip feeds a chaos-generated trace through the
+// JSONL writer and reader: a second write of the re-read records must be
+// byte-identical to the first (the codec is an identity on its own output).
+func TestChaosTraceJSONLRoundTrip(t *testing.T) {
+	steps := chaosSteps(t)
+	var first bytes.Buffer
+	if err := WriteJSONL(&first, steps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(steps) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(steps))
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("JSONL round trip is not an identity:\nfirst:  %s\nsecond: %s",
+			first.Bytes(), second.Bytes())
+	}
+}
+
+// TestChaosTraceCSVRoundTrip does the same through the CSV codec.
+func TestChaosTraceCSVRoundTrip(t *testing.T) {
+	steps := chaosSteps(t)
+	var first bytes.Buffer
+	if err := WriteCSV(&first, steps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(steps) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(steps))
+	}
+	var second bytes.Buffer
+	if err := WriteCSV(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("CSV round trip is not an identity:\nfirst:  %s\nsecond: %s",
+			first.Bytes(), second.Bytes())
+	}
+}
+
+// TestChaosTraceUnknownPlacement rewrites one record of a real trace with a
+// placement neither codec knows; both readers must fail with
+// *policy.UnknownPlacementError rather than defaulting.
+func TestChaosTraceUnknownPlacement(t *testing.T) {
+	steps := chaosSteps(t)
+
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, steps); err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(jl.String(), `"placement":"`, `"placement":"nowhere-`, 1)
+	var perr *policy.UnknownPlacementError
+	if _, err := ReadJSONL(strings.NewReader(mangled)); !errors.As(err, &perr) {
+		t.Errorf("JSONL unknown placement: err = %v, want *policy.UnknownPlacementError", err)
+	}
+
+	var cv bytes.Buffer
+	if err := WriteCSV(&cv, steps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(cv.String(), "\n", 2)
+	body := strings.Replace(lines[1], "in-transit", "nowhere", 1)
+	body = strings.Replace(body, "in-situ", "nowhere", 1)
+	if _, err := ReadCSV(strings.NewReader(lines[0] + "\n" + body)); !errors.As(err, &perr) {
+		t.Errorf("CSV unknown placement: err = %v, want *policy.UnknownPlacementError", err)
+	}
+}
+
+// TestChaosTraceZeroSteps pins both codecs on an empty run: the JSONL side
+// writes nothing and reads back nothing, the CSV side writes only the
+// header and reads back nothing.
+func TestChaosTraceZeroSteps(t *testing.T) {
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if jl.Len() != 0 {
+		t.Errorf("zero-step JSONL wrote %d bytes", jl.Len())
+	}
+	if recs, err := ReadJSONL(&jl); err != nil || len(recs) != 0 {
+		t.Errorf("zero-step JSONL read: recs=%d err=%v", len(recs), err)
+	}
+
+	var cv bytes.Buffer
+	if err := WriteCSV(&cv, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cv.String(), "step,") {
+		t.Errorf("zero-step CSV missing header: %q", cv.String())
+	}
+	if recs, err := ReadCSV(bytes.NewReader(cv.Bytes())); err != nil || len(recs) != 0 {
+		t.Errorf("zero-step CSV read: recs=%d err=%v", len(recs), err)
+	}
+}
+
+// TestChaosTraceTruncated cuts a real trace mid-record; both readers must
+// return an error, never records from the torn tail and never a panic.
+func TestChaosTraceTruncated(t *testing.T) {
+	steps := chaosSteps(t)
+
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, steps); err != nil {
+		t.Fatal(err)
+	}
+	cut := jl.Len() - jl.Len()/4
+	if _, err := ReadJSONL(bytes.NewReader(jl.Bytes()[:cut])); err == nil {
+		t.Error("truncated JSONL accepted")
+	}
+
+	var cv bytes.Buffer
+	if err := WriteCSV(&cv, steps); err != nil {
+		t.Fatal(err)
+	}
+	raw := cv.Bytes()
+	last := bytes.LastIndexByte(raw[:len(raw)-1], '\n')
+	torn := raw[:last+len(raw[last:])/2]
+	if _, err := ReadCSV(bytes.NewReader(torn)); err == nil {
+		t.Error("truncated CSV accepted")
+	}
+}

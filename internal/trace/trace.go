@@ -55,26 +55,26 @@ func WriteCSV(w io.Writer, steps []core.StepRecord) error {
 
 // jsonStep is the JSONL projection of a step record.
 type jsonStep struct {
-	Step            int     `json:"step"`
-	Factor          int     `json:"factor"`
-	Placement       string  `json:"placement"`
-	PlacementReason string  `json:"placement_reason,omitempty"`
-	SimSeconds      float64 `json:"sim_seconds"`
-	ReduceSeconds   float64 `json:"reduce_seconds,omitempty"`
-	AnalysisSeconds float64 `json:"analysis_seconds"`
-	TransferSeconds float64 `json:"transfer_seconds,omitempty"`
-	BytesProduced   int64   `json:"bytes_produced"`
-	BytesAnalyzed   int64   `json:"bytes_analyzed"`
-	BytesMoved      int64   `json:"bytes_moved"`
-	StagingCores      int   `json:"staging_cores"`
-	StagingRetries    int   `json:"staging_retries,omitempty"`
-	StagingReconnects int   `json:"staging_reconnects,omitempty"`
-	PeakMemBytes      int64 `json:"peak_mem_bytes"`
-	MinMemAvail     int64   `json:"min_mem_avail"`
-	Triangles       int     `json:"triangles,omitempty"`
-	SimClock        float64 `json:"sim_clock"`
-	StagingClock    float64 `json:"staging_clock"`
-	FinestLevel     int     `json:"finest_level"`
+	Step              int     `json:"step"`
+	Factor            int     `json:"factor"`
+	Placement         string  `json:"placement"`
+	PlacementReason   string  `json:"placement_reason,omitempty"`
+	SimSeconds        float64 `json:"sim_seconds"`
+	ReduceSeconds     float64 `json:"reduce_seconds,omitempty"`
+	AnalysisSeconds   float64 `json:"analysis_seconds"`
+	TransferSeconds   float64 `json:"transfer_seconds,omitempty"`
+	BytesProduced     int64   `json:"bytes_produced"`
+	BytesAnalyzed     int64   `json:"bytes_analyzed"`
+	BytesMoved        int64   `json:"bytes_moved"`
+	StagingCores      int     `json:"staging_cores"`
+	StagingRetries    int     `json:"staging_retries,omitempty"`
+	StagingReconnects int     `json:"staging_reconnects,omitempty"`
+	PeakMemBytes      int64   `json:"peak_mem_bytes"`
+	MinMemAvail       int64   `json:"min_mem_avail"`
+	Triangles         int     `json:"triangles,omitempty"`
+	SimClock          float64 `json:"sim_clock"`
+	StagingClock      float64 `json:"staging_clock"`
+	FinestLevel       int     `json:"finest_level"`
 }
 
 // WriteJSONL emits one JSON object per line per step record.
@@ -87,11 +87,11 @@ func WriteJSONL(w io.Writer, steps []core.StepRecord) error {
 			SimSeconds: s.SimSeconds, ReduceSeconds: s.ReduceSeconds,
 			AnalysisSeconds: s.AnalysisSeconds, TransferSeconds: s.TransferSeconds,
 			BytesProduced: s.BytesProduced, BytesAnalyzed: s.BytesAnalyzed,
-			BytesMoved:   s.BytesMoved,
-			StagingCores: s.StagingCores,
+			BytesMoved:     s.BytesMoved,
+			StagingCores:   s.StagingCores,
 			StagingRetries: s.StagingRetries, StagingReconnects: s.StagingReconnects,
 			PeakMemBytes: s.PeakMemBytes,
-			MinMemAvail: s.MinMemAvail, Triangles: s.Triangles,
+			MinMemAvail:  s.MinMemAvail, Triangles: s.Triangles,
 			SimClock: s.SimClock, StagingClock: s.StagingClock,
 			FinestLevel: s.FinestLevel,
 		}
@@ -118,11 +118,11 @@ func ReadJSONL(r io.Reader) ([]core.StepRecord, error) {
 			SimSeconds:      js.SimSeconds, ReduceSeconds: js.ReduceSeconds,
 			AnalysisSeconds: js.AnalysisSeconds, TransferSeconds: js.TransferSeconds,
 			BytesProduced: js.BytesProduced, BytesAnalyzed: js.BytesAnalyzed,
-			BytesMoved:   js.BytesMoved,
-			StagingCores: js.StagingCores,
+			BytesMoved:     js.BytesMoved,
+			StagingCores:   js.StagingCores,
 			StagingRetries: js.StagingRetries, StagingReconnects: js.StagingReconnects,
 			PeakMemBytes: js.PeakMemBytes,
-			MinMemAvail: js.MinMemAvail, Triangles: js.Triangles,
+			MinMemAvail:  js.MinMemAvail, Triangles: js.Triangles,
 			SimClock: js.SimClock, StagingClock: js.StagingClock,
 			FinestLevel: js.FinestLevel,
 		}
