@@ -30,10 +30,13 @@ race:
 
 # Short deterministic fuzz passes over the wire codec and the server's
 # request loop (one target per invocation, as the fuzz engine requires).
+# FuzzSpanWireHeader covers the trace-context request-header extension
+# (decode∘encode identity); the span-log golden test runs under `race`.
 fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzSpanWireHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZTIME)
 
 # A seeded chaos sweep over the replicated pool + engine with all

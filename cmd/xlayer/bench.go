@@ -10,9 +10,13 @@ import (
 // runBench executes the benchmark harness, writes the report, and — when a
 // baseline is given — applies the regression gate: a speedup metric more
 // than tol below the baseline is a hard failure (exit 1), wall-clock drift
-// only warns (raw ns/op is machine-dependent).
-func runBench(out, baseline string, tol float64, short bool) error {
-	rep, err := crosslayer.RunBench(crosslayer.BenchOptions{Short: short, Log: os.Stdout})
+// only warns (raw ns/op is machine-dependent). -pprof captures CPU/heap
+// profiles around the measured pool region; -chrome exports the Fig-9
+// concurrent pool run's span tree as a Perfetto-loadable trace.
+func runBench(out, baseline string, tol float64, short bool, pprofDir, chrome string) error {
+	rep, err := crosslayer.RunBench(crosslayer.BenchOptions{
+		Short: short, Log: os.Stdout, PprofDir: pprofDir, ChromeTrace: chrome,
+	})
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,11 @@ func main() {
 	stagingConc := fs.Int("staging-concurrency", 0, "in-flight staging ops per step; >1 enables the parallel data path (run mode; needs -staging-servers > 1)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
 	eventsPath := fs.String("events", "", "stream structured runtime events as JSON Lines to this file (run mode); event log to summarize (report mode)")
+	spansPath := fs.String("spans", "", "stream the causal span log as JSON Lines to this file (run mode); span log for the per-phase table (report mode)")
+	spansBlame := fs.Bool("blame", false, "print the per-layer wall-time blame table (spans mode)")
+	spansCritical := fs.Bool("critical-path", false, "print each step's critical path through the overlapped pipeline (spans mode; implies -blame)")
+	chromePath := fs.String("chrome", "", "write a Chrome trace_event JSON for Perfetto to this file (spans mode; bench mode exports the Fig-9 pool run)")
+	pprofDir := fs.String("pprof", "", "write cpu.pprof and heap.pprof around the measured region into this directory (bench mode)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on this address during the run, e.g. :9090 or :0 (run mode)")
 	benchOut := fs.String("out", "BENCH_pr4.json", "write the benchmark report to this file (bench mode)")
 	benchBaseline := fs.String("baseline", "", "compare against this committed baseline report and fail on regression (bench mode)")
@@ -105,17 +110,29 @@ func main() {
 			stagingServers: *stagingServers, stagingReplicas: *stagingReplicas,
 			stagingKill: *stagingKill, stagingConcurrency: *stagingConc,
 			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
+			spansPath: *spansPath,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
 	case "report":
-		if err := runReport(*jsonlPath, *csvPath, *eventsPath); err != nil {
+		if err := runReport(*jsonlPath, *csvPath, *eventsPath, *spansPath); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	case "spans":
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: xlayer spans [-blame] [-critical-path] [-chrome FILE] <spans.jsonl>")
+			os.Exit(2)
+		}
+		if err := runSpans(spansOpts{
+			path: fs.Arg(0), blame: *spansBlame, critical: *spansCritical, chrome: *chromePath,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
 	case "bench":
-		if err := runBench(*benchOut, *benchBaseline, *benchTol, *benchShort); err != nil {
+		if err := runBench(*benchOut, *benchBaseline, *benchTol, *benchShort, *pprofDir, *chromePath); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
@@ -142,17 +159,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|bench|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|spans|bench|chaos> [flags]
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
            -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
            -staging-servers N  -staging-replicas K  -staging-kill server=1,at=3,revive=6
            -staging-concurrency C (parallel staging data path; needs -staging-servers > 1)
-           -events FILE (structured event stream)  -metrics-addr ADDR (Prometheus)
+           -events FILE (structured event stream)  -spans FILE (causal span log)
+           -metrics-addr ADDR (Prometheus)
 runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
-report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl
+report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl | -spans spans.jsonl
+spans:     xlayer spans [-blame] [-critical-path] [-chrome trace.json] spans.jsonl
 bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]
+           [-pprof DIR] [-chrome trace.json]
 chaos:     xlayer chaos [-seeds N] [-start-seed S] [-steps MAX] [-out REPRO_DIR] [-json]
            xlayer chaos -replay repro.json  (re-run a shrunk repro; violations exit nonzero)`)
 }
@@ -194,13 +214,14 @@ type runOpts struct {
 	stagingKill                     string
 	stagingConcurrency              int
 	eventsPath, metricsAddr         string
+	spansPath                       string
 }
 
 // runReport summarizes previously written run artifacts: a step trace
 // (-jsonl or -csv) and/or a structured event log (-events).
-func runReport(jsonlPath, csvPath, eventsPath string) error {
-	if jsonlPath == "" && csvPath == "" && eventsPath == "" {
-		return fmt.Errorf("report: need -jsonl, -csv or -events")
+func runReport(jsonlPath, csvPath, eventsPath, spansPath string) error {
+	if jsonlPath == "" && csvPath == "" && eventsPath == "" && spansPath == "" {
+		return fmt.Errorf("report: need -jsonl, -csv, -events or -spans")
 	}
 	summarizeSteps := func(path string, read func(*os.File) ([]crosslayer.StepRecord, error)) error {
 		f, err := os.Open(path)
@@ -243,6 +264,19 @@ func runReport(jsonlPath, csvPath, eventsPath string) error {
 		if err := crosslayer.SummarizeEvents(events).WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if spansPath != "" {
+		f, err := os.Open(spansPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spans, err := crosslayer.ReadSpans(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== span log %s: per-phase wall time ==\n", spansPath)
+		crosslayer.WriteSpanPhaseText(os.Stdout, crosslayer.SpanPhaseBreakdown(spans))
 	}
 	return nil
 }
@@ -314,6 +348,26 @@ func runWorkflow(o runOpts) error {
 		defer func() {
 			emitter.Close()
 			fmt.Println("wrote", o.eventsPath)
+		}()
+	}
+	if o.spansPath != "" {
+		f, err := os.Create(o.spansPath)
+		if err != nil {
+			return err
+		}
+		// The trace ID derives from the run's shape, so two invocations of
+		// the same seeded run share a trace identity (same contract as
+		// spec.Build's span wiring).
+		tracer := crosslayer.NewSpanTracer(crosslayer.NewJSONLSpanSink(f), fmt.Sprintf(
+			"run/%s/%s/%s/steps=%d/servers=%d/replicas=%d/conc=%d",
+			app, placement, objective, steps,
+			o.stagingServers, o.stagingReplicas, o.stagingConcurrency))
+		cfg.Trace = tracer
+		// Registered before the staging closers, so it runs after the pool
+		// drains its buffered op spans into the still-open sink.
+		defer func() {
+			tracer.Close()
+			fmt.Println("wrote", o.spansPath)
 		}()
 	}
 	var reg *crosslayer.MetricsRegistry

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crosslayer"
+)
+
+// spansOpts carries the flags of `xlayer spans`.
+type spansOpts struct {
+	path     string // span log to analyze
+	blame    bool   // per-layer wall-time blame table
+	critical bool   // per-step critical path (implies the blame table)
+	chrome   string // Chrome trace_event JSON output path
+}
+
+// runSpans reconstructs the causal tree from a span log and runs the
+// critical-path analyzer over it: per-layer wall-time attribution, each
+// step's critical path through the overlapped pipeline, and a Chrome
+// trace_event export loadable in Perfetto.
+func runSpans(o spansOpts) error {
+	f, err := os.Open(o.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := crosslayer.ReadSpans(f)
+	if err != nil {
+		return fmt.Errorf("spans: %s: %w", o.path, err)
+	}
+	tree, err := crosslayer.BuildSpanTree(spans)
+	if err != nil {
+		return fmt.Errorf("spans: %s: %w", o.path, err)
+	}
+	trace := ""
+	if len(spans) > 0 {
+		trace = spans[0].Trace
+	}
+	fmt.Printf("== span log %s ==\n", o.path)
+	fmt.Printf("trace %s: %d spans, %d roots, %d steps\n",
+		trace, len(spans), len(tree.Roots()), len(tree.StepSpans()))
+	if o.blame || o.critical {
+		crosslayer.WriteSpanBlameText(os.Stdout, tree.Analyze(), o.critical)
+	} else {
+		crosslayer.WriteSpanPhaseText(os.Stdout, crosslayer.SpanPhaseBreakdown(spans))
+	}
+	if o.chrome != "" {
+		if err := writeArtifact(o.chrome, func(f *os.File) error {
+			return crosslayer.WriteChromeTrace(f, spans)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.chrome)
+	}
+	return nil
+}

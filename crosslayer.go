@@ -53,6 +53,7 @@ import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/plotfile"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
@@ -428,6 +429,60 @@ func ServeMetricsHTTP(addr string, reg *MetricsRegistry) (*MetricsServer, error)
 
 // SummarizeTrace aggregates a step trace into a run report.
 func SummarizeTrace(steps []StepRecord) RunReport { return trace.Summarize(steps) }
+
+// Causal tracing: deterministic span trees, wire-propagated trace context,
+// and critical-path attribution (see DESIGN.md §12).
+type (
+	// SpanTracer stamps and sinks causal spans (Config.Trace). A nil
+	// *SpanTracer is valid and disables tracing at zero cost.
+	SpanTracer = span.Tracer
+	// SpanCtx is a begun span; the zero value is the disabled state.
+	SpanCtx = span.Ctx
+	// Span is one completed node of the causal tree.
+	Span = span.Span
+	// SpanSink receives completed spans.
+	SpanSink = span.Sink
+	// SpanTree is a reconstructed span forest.
+	SpanTree = span.Tree
+	// SpanStepBlame is one step's per-layer wall-time attribution.
+	SpanStepBlame = span.StepBlame
+	// SpanPhaseRow is one line of the per-phase breakdown table.
+	SpanPhaseRow = span.PhaseRow
+)
+
+// NewSpanTracer derives a trace identity from seed and writes spans to
+// sink; a nil sink yields a nil (disabled) tracer.
+func NewSpanTracer(sink SpanSink, seed string) *SpanTracer { return span.NewTracer(sink, seed) }
+
+// NewJSONLSpanSink streams spans as JSON Lines to w (closing w on Close
+// when it is an io.Closer).
+func NewJSONLSpanSink(w io.Writer) *span.JSONLSink { return span.NewJSONLSink(w) }
+
+// NewMemSpanSink retains spans in memory.
+func NewMemSpanSink() *span.MemSink { return &span.MemSink{} }
+
+// ReadSpans parses a JSONL span log.
+func ReadSpans(r io.Reader) ([]Span, error) { return span.ReadSpans(r) }
+
+// BuildSpanTree reconstructs the causal tree, rejecting ill-formed logs
+// (missing parents, duplicate IDs).
+func BuildSpanTree(spans []Span) (*SpanTree, error) { return span.BuildTree(spans) }
+
+// WriteSpanBlameText renders the per-layer blame table (and, when critical
+// is set, each step's critical path).
+func WriteSpanBlameText(w io.Writer, steps []SpanStepBlame, critical bool) {
+	span.WriteBlameText(w, steps, critical)
+}
+
+// SpanPhaseBreakdown aggregates step-phase spans into per-phase totals.
+func SpanPhaseBreakdown(spans []Span) []SpanPhaseRow { return span.PhaseBreakdown(spans) }
+
+// WriteSpanPhaseText renders the per-phase breakdown table.
+func WriteSpanPhaseText(w io.Writer, rows []SpanPhaseRow) { span.WritePhaseText(w, rows) }
+
+// WriteChromeTrace exports a span log as Chrome trace_event JSON loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return span.WriteChromeTrace(w, spans) }
 
 // ParsePlacement inverts Placement.String; unknown or empty strings return
 // a *policy.UnknownPlacementError.

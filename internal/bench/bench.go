@@ -13,6 +13,10 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +24,7 @@ import (
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/staging"
 )
 
@@ -88,6 +93,13 @@ type Options struct {
 	Short bool
 	// Log receives one progress line per finished entry (nil = quiet).
 	Log io.Writer
+	// PprofDir, when non-empty, receives cpu.pprof and heap.pprof capturing
+	// exactly the measured pool region; the pool workers carry pprof labels
+	// (endpoint/shard), so profile samples cross-reference the span blame.
+	PprofDir string
+	// ChromeTrace, when non-empty, receives the Fig-9 concurrent pool run's
+	// span tree as Chrome trace_event JSON (load in Perfetto).
+	ChromeTrace string
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -119,17 +131,34 @@ func Run(opts Options) (*Report, error) {
 	if opts.Short {
 		steps = 6
 	}
-	serialized, err := runPoolWorkload(1, steps)
+	prof, err := startProfiles(opts.PprofDir)
 	if err != nil {
+		return nil, err
+	}
+	serialized, serSpans, err := runPoolWorkload(1, steps)
+	if err != nil {
+		prof.stop()
+		return nil, err
+	}
+	concurrent, conSpans, err := runPoolWorkload(poolConcurrency, steps)
+	if perr := prof.stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.PprofDir != "" {
+		opts.logf("wrote %s and %s",
+			filepath.Join(opts.PprofDir, "cpu.pprof"), filepath.Join(opts.PprofDir, "heap.pprof"))
+	}
+	if err := attachBlame(&serialized, serSpans, opts); err != nil {
+		return nil, err
+	}
+	if err := attachBlame(&concurrent, conSpans, opts); err != nil {
 		return nil, err
 	}
 	rep.Entries = append(rep.Entries, serialized)
 	opts.logf("%-24s %12.0f ns/op  %v", serialized.Name, serialized.NsPerOp, serialized.Metrics)
-
-	concurrent, err := runPoolWorkload(poolConcurrency, steps)
-	if err != nil {
-		return nil, err
-	}
 	rep.Entries = append(rep.Entries, concurrent)
 	opts.logf("%-24s %12.0f ns/op  %v", concurrent.Name, concurrent.NsPerOp, concurrent.Metrics)
 
@@ -141,7 +170,102 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep.Entries = append(rep.Entries, sp)
 	opts.logf("%-24s concurrent/serialized = %.2fx", sp.Name, speedup)
+
+	if opts.ChromeTrace != "" {
+		f, err := os.Create(opts.ChromeTrace)
+		if err != nil {
+			return nil, fmt.Errorf("bench: chrome trace: %w", err)
+		}
+		werr := span.WriteChromeTrace(f, conSpans)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("bench: chrome trace: %w", werr)
+		}
+		opts.logf("wrote %s", opts.ChromeTrace)
+	}
 	return rep, nil
+}
+
+// attachBlame reconstructs a pool workload's span tree, prints the
+// per-layer blame table, and folds the attribution into the entry's report
+// metrics: per-layer seconds plus the wall-clock queue-wait vs execution
+// split summed over every per-endpoint RPC — the numbers that explain,
+// rather than just measure, the serialized/concurrent speedup.
+func attachBlame(e *Entry, spans []span.Span, opts Options) error {
+	tree, err := span.BuildTree(spans)
+	if err != nil {
+		return fmt.Errorf("bench: %s span tree: %w", e.Name, err)
+	}
+	steps := tree.Analyze()
+	byLayer, total, queueNs, execNs := span.BlameTotals(steps)
+	for l, secs := range byLayer {
+		e.Metrics["blame_"+strings.ReplaceAll(l, "-", "_")+"_s"] = secs
+	}
+	e.Metrics["blame_attributed_s"] = total
+	e.Metrics["pool_queue_ms"] = float64(queueNs) / 1e6
+	e.Metrics["pool_exec_ms"] = float64(execNs) / 1e6
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "-- %s per-layer blame --\n", e.Name)
+		span.WriteBlameText(opts.Log, steps, false)
+	}
+	return nil
+}
+
+// profiles captures the measured pool region: CPU samples between start and
+// stop, plus a heap snapshot at stop (`xlayer bench -pprof <dir>`).
+type profiles struct {
+	dir string
+	cpu *os.File
+}
+
+func startProfiles(dir string) (*profiles, error) {
+	if dir == "" {
+		return &profiles{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: pprof: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("bench: pprof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: pprof: %w", err)
+	}
+	return &profiles{dir: dir, cpu: f}, nil
+}
+
+// stop ends the CPU profile and writes the heap snapshot. Idempotent, so
+// error paths can call it unconditionally.
+func (p *profiles) stop() error {
+	if p.dir == "" {
+		return nil
+	}
+	dir := p.dir
+	p.dir = ""
+	pprof.StopCPUProfile()
+	err := p.cpu.Close()
+	hf, herr := os.Create(filepath.Join(dir, "heap.pprof"))
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation stats
+	if werr := pprof.WriteHeapProfile(hf); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("bench: pprof: %w", err)
+	}
+	return nil
 }
 
 // figureWorkload regenerates one paper figure at a fixed seed and reports
@@ -217,8 +341,11 @@ const (
 // previous version — one workflow step's staging I/O. conc == 1 is the
 // Deterministic serialized path; conc > 1 fans puts out across conc sender
 // goroutines into the pool's per-endpoint pipelines, exactly like a
-// workflow running with StagingConcurrency == conc.
-func runPoolWorkload(conc, steps int) (Entry, error) {
+// workflow running with StagingConcurrency == conc. The whole run is
+// traced with wall-clock durations — the tracer's clock is wall seconds
+// since the measured region began — so the returned spans carry the real
+// queue-wait vs execution split the blame table attributes.
+func runPoolWorkload(conc, steps int) (Entry, []span.Span, error) {
 	name := "fig9-pool/serialized"
 	if conc > 1 {
 		name = "fig9-pool/concurrent"
@@ -236,7 +363,7 @@ func runPoolWorkload(conc, steps int) (Entry, error) {
 	for i := 0; i < poolServers; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return Entry{}, fmt.Errorf("bench: listen: %w", err)
+			return Entry{}, nil, fmt.Errorf("bench: listen: %w", err)
 		}
 		link := faultnet.Listen(ln, faultnet.Plan{Latency: poolLinkLatency})
 		servers = append(servers, staging.ServeOn(link, staging.NewSpace(4, 0, domain)))
@@ -253,7 +380,7 @@ func runPoolWorkload(conc, steps int) (Entry, error) {
 		},
 	})
 	if err != nil {
-		return Entry{}, err
+		return Entry{}, nil, err
 	}
 	defer pool.Close()
 
@@ -263,24 +390,50 @@ func runPoolWorkload(conc, steps int) (Entry, error) {
 		blockBytes += b.Bytes()
 	}
 
+	sink := &span.MemSink{}
+	tr := span.NewTracer(sink, "bench/"+name).WithWallDurations()
 	start := time.Now()
+	tr.SetVirtualClock(func() float64 { return time.Since(start).Seconds() })
+	run := tr.Begin(span.Ctx{}, "run", span.LayerRun, span.StepUnset)
+	phase := func(st span.Ctx, name string, v int, fn func() error) error {
+		c := tr.Begin(st, name, span.LayerStagingExec, v)
+		pool.SetSpanScope(c)
+		err := fn()
+		pool.DrainSpans()
+		c.End()
+		return err
+	}
 	var bytesMoved int64
 	for v := 0; v < steps; v++ {
-		if err := putAll(pool, v, blocks, conc); err != nil {
-			return Entry{}, fmt.Errorf("bench: step %d put: %w", v, err)
+		v := v
+		st := tr.Begin(run, "step", span.LayerStep, v)
+		if err := phase(st, "ship", v, func() error {
+			return putAll(pool, v, blocks, conc)
+		}); err != nil {
+			return Entry{}, nil, fmt.Errorf("bench: step %d put: %w", v, err)
 		}
-		got, err := pool.GetBlocks("bench", v, domain)
-		if err != nil {
-			return Entry{}, fmt.Errorf("bench: step %d get: %w", v, err)
+		if err := phase(st, "read-back", v, func() error {
+			got, err := pool.GetBlocks("bench", v, domain)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(blocks) {
+				return fmt.Errorf("read %d of %d blocks", len(got), len(blocks))
+			}
+			return nil
+		}); err != nil {
+			return Entry{}, nil, fmt.Errorf("bench: step %d get: %w", v, err)
 		}
-		if len(got) != len(blocks) {
-			return Entry{}, fmt.Errorf("bench: step %d read %d of %d blocks", v, len(got), len(blocks))
+		if err := phase(st, "evict", v, func() error {
+			_, err := pool.DropBefore("bench", v)
+			return err
+		}); err != nil {
+			return Entry{}, nil, fmt.Errorf("bench: step %d drop: %w", v, err)
 		}
-		if _, err := pool.DropBefore("bench", v); err != nil {
-			return Entry{}, fmt.Errorf("bench: step %d drop: %w", v, err)
-		}
+		st.End()
 		bytesMoved += blockBytes * int64(poolReplicas+1) // replica writes + read-back
 	}
+	run.End()
 	wall := time.Since(start)
 
 	return Entry{
@@ -293,7 +446,7 @@ func runPoolWorkload(conc, steps int) (Entry, error) {
 			"mb_per_sec":    float64(bytesMoved) / (1 << 20) / wall.Seconds(),
 			"concurrency":   float64(conc),
 		},
-	}, nil
+	}, sink.Spans(), nil
 }
 
 // syntheticBlocks tiles the domain into poolBlockEdge³ blocks with seeded

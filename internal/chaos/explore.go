@@ -33,6 +33,14 @@ func Verify(s Schedule) (*RunResult, error) {
 			Detail:    fmt.Sprintf("event logs diverge at line %d: %q vs %q", line, a, b),
 		})
 	}
+	if !bytes.Equal(first.SpanLog, second.SpanLog) {
+		line, a, b := firstDivergence(first.SpanLog, second.SpanLog)
+		first.Violations = append(first.Violations, Violation{
+			Invariant: InvReplayDeterminism,
+			Step:      -1,
+			Detail:    fmt.Sprintf("span logs diverge at line %d: %q vs %q", line, a, b),
+		})
+	}
 	for _, v := range second.Violations {
 		if !hasViolation(first.Violations, v) {
 			first.Violations = append(first.Violations, v)

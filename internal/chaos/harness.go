@@ -13,6 +13,7 @@ import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/solver"
 	"crosslayer/internal/staging"
@@ -38,6 +39,10 @@ type RunResult struct {
 	Violations []Violation
 	EventLog   []byte
 	Steps      []core.StepRecord
+
+	// SpanLog is the raw causal span log (JSONL), byte-compared across
+	// replays alongside the event log where determinism is contractual.
+	SpanLog []byte
 
 	// DegradedSteps counts steps that fell back to in-situ with
 	// placement_reason=staging_failure.
@@ -156,6 +161,15 @@ func Run(s Schedule) (*RunResult, error) {
 	em := obs.NewEmitter(tally)
 	reg := obs.NewRegistry()
 
+	// Every run is traced: the span-tree invariant reconstructs the causal
+	// tree from this log and cross-checks it against the event tallies, and
+	// Verify byte-compares it across replays. The trace seed is a pure
+	// function of the schedule, so a replay shares the trace identity.
+	var spanBuf bytes.Buffer
+	tracer := span.NewTracer(span.NewJSONLSink(&spanBuf), fmt.Sprintf(
+		"chaos/seed=%d/steps=%d/servers=%d/replicas=%d/conc=%d",
+		s.Seed, s.Steps, s.Servers, s.Replicas, s.Concurrency))
+
 	h := &harness{
 		s:            s,
 		tally:        tally,
@@ -228,6 +242,7 @@ func Run(s Schedule) (*RunResult, error) {
 		StagingConcurrency:     s.Concurrency,
 		AfterStep:              h.afterStep,
 		Obs:                    em,
+		Trace:                  tracer,
 		Metrics:                reg,
 	}
 	for _, m := range s.Adapt {
@@ -253,9 +268,11 @@ func Run(s Schedule) (*RunResult, error) {
 	if err != nil {
 		return fail(err)
 	}
-	// Close order (last-attached first): pool drains its buffered events,
-	// servers shut down, the emitter flushes the JSONL log last.
+	// Close order (last-attached first): pool drains its buffered events
+	// and spans, servers shut down, then the tracer and the emitter flush
+	// their JSONL logs last.
 	wf.AddCloser(em)
+	wf.AddCloser(tracer)
 	for _, c := range closers {
 		wf.AddCloser(c)
 	}
@@ -273,11 +290,13 @@ func Run(s Schedule) (*RunResult, error) {
 		return nil, fmt.Errorf("chaos: close: %w", err)
 	}
 	h.checkEndOfRun(res)
+	h.checkSpanTree(spanBuf.Bytes())
 
 	return &RunResult{
 		Schedule:          s,
 		Violations:        h.violations,
 		EventLog:          append([]byte(nil), logBuf.Bytes()...),
+		SpanLog:           append([]byte(nil), spanBuf.Bytes()...),
 		Steps:             res.Steps,
 		DegradedSteps:     countDegraded(res.Steps),
 		DurabilityChecked: durabilityChecked,
@@ -341,6 +360,10 @@ func (h *harness) afterStep(step int) {
 	h.applyFaults(step)
 	h.updateLossArmed()
 	h.probePut(step)
+	// The probe puts' op spans buffer on the concurrent path; drain them at
+	// this barrier — while the virtual clock is quiescent — instead of
+	// letting them leak into the next step's drain with a later stamp.
+	h.pool.DrainSpans()
 }
 
 func (h *harness) record(step int) core.StepRecord {

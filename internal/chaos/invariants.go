@@ -1,9 +1,12 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 
 	"crosslayer/internal/core"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
 )
@@ -50,11 +53,53 @@ const (
 	InvMetricsConsistency = "metrics_consistency"
 
 	// InvReplayDeterminism: re-running a schedule yields a byte-identical
-	// event log wherever the runtime contracts promise determinism (see
-	// Schedule.DeterministicByContract). Checked by Verify, which runs the
-	// schedule twice.
+	// event log — and span log — wherever the runtime contracts promise
+	// determinism (see Schedule.DeterministicByContract). Checked by
+	// Verify, which runs the schedule twice.
 	InvReplayDeterminism = "replay_determinism"
+
+	// InvSpanTree: the causal span log must reconstruct into a single
+	// well-parented tree rooted at the run span, and its pool-op spans must
+	// agree with the event stream — one pool:repair span per repair event,
+	// one failover tag per failover_get event.
+	InvSpanTree = "span_tree"
 )
+
+// checkSpanTree reconstructs the causal tree from the run's span log (after
+// the workflow closed, so every buffered span is flushed) and cross-checks
+// it against the event tallies.
+func (h *harness) checkSpanTree(log []byte) {
+	spans, err := span.ReadSpans(bytes.NewReader(log))
+	if err != nil {
+		h.violate(InvSpanTree, -1, "span log unreadable: %v", err)
+		return
+	}
+	tree, err := span.BuildTree(spans)
+	if err != nil {
+		h.violate(InvSpanTree, -1, "ill-formed span tree: %v", err)
+		return
+	}
+	roots := tree.Roots()
+	if len(roots) != 1 || roots[0].Name != "run" {
+		h.violate(InvSpanTree, -1, "%d root spans (want the single run span)", len(roots))
+	}
+	repairs, failovers := 0, 0
+	for i := range spans {
+		s := &spans[i]
+		if s.Name == "pool:repair" {
+			repairs++
+		}
+		failovers += strings.Count(s.Detail, "failover=")
+	}
+	if repairs != h.tally.repairs {
+		h.violate(InvSpanTree, -1,
+			"%d pool:repair spans but %d repair events", repairs, h.tally.repairs)
+	}
+	if failovers != h.tally.failovers {
+		h.violate(InvSpanTree, -1,
+			"%d failover-tagged get spans but %d failover_get events", failovers, h.tally.failovers)
+	}
+}
 
 // durabilityArmed reports whether the audit is currently meaningful: no
 // shard has legitimately lost its full replica set, and the network plan

@@ -3,6 +3,7 @@ package core
 import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/staging"
 )
 
@@ -79,4 +80,32 @@ func endpointHealthOf(store StagingStore) (healthy, total int) {
 		return eh.HealthyEndpoints()
 	}
 	return 0, 0
+}
+
+// spanScoped is the optional tracing face of a StagingStore: a staging pool
+// parents its per-op spans under the phase span the workflow installs and
+// stamps the trace context onto the wire for traced servers.
+type spanScoped interface {
+	SetSpanScope(span.Ctx)
+}
+
+// spanDrainer flushes pool-op spans buffered by a concurrent data path,
+// deterministically ordered; the workflow calls it at each step barrier
+// while the step's phase spans are still open.
+type spanDrainer interface {
+	DrainSpans()
+}
+
+// setSpanScopeOf installs the phase span on stores that trace.
+func setSpanScopeOf(store StagingStore, c span.Ctx) {
+	if s, ok := store.(spanScoped); ok {
+		s.SetSpanScope(c)
+	}
+}
+
+// drainSpansOf flushes the store's buffered spans when it has any.
+func drainSpansOf(store StagingStore) {
+	if d, ok := store.(spanDrainer); ok {
+		d.DrainSpans()
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/monitor"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/solver"
 	"crosslayer/internal/staging"
@@ -116,6 +117,15 @@ type Config struct {
 	// event timestamps are model time — seeded runs stay byte-identical.
 	Obs *obs.Emitter
 
+	// Trace receives the causal span tree (nil disables tracing with the
+	// same allocation-free contract as Obs). The workflow installs its
+	// virtual clock into the tracer, opens the run span, and threads phase
+	// spans (solve / analyze / ship / barrier), policy-decision spans, and
+	// the staging pool's per-op spans under it. Span timestamps are model
+	// time and span IDs derive from (seed, step, op-seq), so seeded runs
+	// produce byte-identical span logs at any StagingConcurrency.
+	Trace *span.Tracer
+
 	// Metrics, when set, registers the workflow's run metrics: step
 	// counters, sim/analysis/transfer-seconds histograms, placement and
 	// adaptation counters, and staging-pool gauges.
@@ -185,6 +195,11 @@ type Workflow struct {
 	met    *coreMetrics
 	span   obs.StepCtx // the in-flight step's event context
 
+	tracer  *span.Tracer
+	runCtx  span.Ctx // the whole run's root span
+	stepCtx span.Ctx // the in-flight step's span
+	shipCtx span.Ctx // the in-flight step's ship phase, open until the barrier
+
 	// last analyzed-step placement, for placement_change events.
 	lastPlacement  policy.Placement
 	placementKnown bool
@@ -237,6 +252,19 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 			c.Objective, c.SimCores, c.StagingCores,
 			c.Enable.Application, c.Enable.Middleware, c.Enable.Resource))
 	}
+	w.tracer = c.Trace
+	if w.tracer != nil {
+		// Span stamps share the emitter's model clock, and the pool parents
+		// its op spans under the run span until a step's ship phase takes
+		// over — so probe puts and rejoin repairs outside any ship phase
+		// stay well-parented.
+		w.tracer.SetVirtualClock(func() float64 {
+			return math.Max(w.simTL.FreeAt(), w.pool.FreeAt())
+		})
+		w.runCtx = w.tracer.Begin(span.Ctx{}, "run", span.LayerRun, span.StepUnset)
+		w.tracer.SetAmbient(w.runCtx)
+		setSpanScopeOf(w.store, w.runCtx)
+	}
 	return w, nil
 }
 
@@ -248,6 +276,15 @@ func (w *Workflow) AddCloser(c io.Closer) { w.closers = append(w.closers, c) }
 // workflow with none is trivially closable; running a workflow after Close
 // is invalid.
 func (w *Workflow) Close() error {
+	// A run span left open (the workflow was stepped without Run, or Run
+	// never finished) would orphan every span beneath it — end it before
+	// the closers release the tracer's sink, so the log always holds a
+	// complete tree.
+	if w.runCtx.Enabled() {
+		drainSpansOf(w.store)
+		w.runCtx.End()
+		w.runCtx = span.Ctx{}
+	}
 	var first error
 	for i := len(w.closers) - 1; i >= 0; i-- {
 		if err := w.closers[i].Close(); err != nil && first == nil {
@@ -346,13 +383,17 @@ func (w *Workflow) Step() StepRecord {
 	c := &w.cfg
 	h := w.sim.Hierarchy()
 	w.span = w.events.BeginStep(w.step)
+	w.stepCtx = w.tracer.Begin(w.runCtx, "step", span.LayerStep, w.step)
+	w.tracer.SetAmbient(w.stepCtx)
 
 	// --- 1. simulation advances (real compute), cost modeled ---
+	solve := w.tracer.Begin(w.stepCtx, "solve", span.LayerSolver, w.step)
 	stats := w.sim.Step()
 	imbalance := sysmodel.ImbalanceFactor(h.CellsPerRank())
 	simSecs := c.Machine.SimTime(w.scale(stats.CellsUpdated), c.SimCores) * imbalance
 	simStart := w.simTL.FreeAt()
 	_, simEnd := w.simTL.Schedule(simStart, simSecs)
+	solve.End()
 
 	rec := StepRecord{
 		Step:        w.step,
@@ -408,18 +449,29 @@ func (w *Workflow) Step() StepRecord {
 		w.runAnalysis(&rec, blocks, sample, simEnd)
 	}
 
-	// Step barrier: every transfer has joined, so flush endpoint events a
-	// concurrent staging pool buffered during the step. Deterministic
-	// stores emit inline and this is a no-op.
+	// Step barrier: every transfer has joined, so flush endpoint events and
+	// pool-op spans a concurrent staging pool buffered during the step.
+	// Deterministic stores emit inline and both drains are no-ops. The ship
+	// phase span closes only after the span drain, so drained pool spans
+	// land inside their parent's interval; the pool then re-parents under
+	// the run span for any out-of-step work (probe puts, rejoin repair).
+	barrier := w.tracer.Begin(w.stepCtx, "barrier", span.LayerBarrier, w.step)
 	drainEventsOf(w.store)
+	drainSpansOf(w.store)
+	if w.shipCtx.Enabled() {
+		w.shipCtx.End()
+		w.shipCtx = span.Ctx{}
+		setSpanScopeOf(w.store, w.runCtx)
+	}
+	barrier.End()
 
 	// account the staging pool through this step's span for Eq. 12
-	span := math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) - math.Max(simStart, 0)
+	spanSecs := math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) - math.Max(simStart, 0)
 	if prev := len(w.result.Steps); prev > 0 {
-		span = math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) -
+		spanSecs = math.Max(w.simTL.FreeAt(), w.pool.FreeAt()) -
 			math.Max(w.result.Steps[prev-1].SimClock, w.result.Steps[prev-1].StagingClock)
 	}
-	w.pool.AccountSpan(span)
+	w.pool.AccountSpan(spanSecs)
 
 	rec.SimClock = w.simTL.FreeAt()
 	rec.StagingClock = w.pool.FreeAt()
@@ -443,7 +495,7 @@ func (w *Workflow) Step() StepRecord {
 	if m := w.met; m != nil {
 		m.steps.Inc()
 		m.simSeconds.Observe(simSecs)
-		m.stepSeconds.Observe(span)
+		m.stepSeconds.Observe(spanSecs)
 		m.bytesProduced.Add(float64(rec.BytesProduced))
 		m.stagingCores.Set(float64(rec.StagingCores))
 		m.stagingMemUsed.Set(float64(rec.StagingMemUsed))
@@ -477,6 +529,13 @@ func (w *Workflow) Step() StepRecord {
 		w.span.Finished(placement, rec.Factor, simSecs,
 			rec.AnalysisSeconds, rec.TransferSeconds, rec.BytesMoved)
 	}
+	if w.stepCtx.Enabled() {
+		w.stepCtx.End()
+		// Faults injected between steps (AfterStep crash schedules) attach
+		// to the run span until the next step opens.
+		w.tracer.SetAmbient(w.runCtx)
+		w.stepCtx = span.Ctx{}
+	}
 	w.step++
 	if w.cfg.AfterStep != nil {
 		w.cfg.AfterStep(rec.Step)
@@ -492,6 +551,10 @@ func (w *Workflow) Run(steps int) Result {
 	res := w.Result()
 	if w.events != nil {
 		w.events.RunFinished(res.EndToEnd)
+	}
+	if w.runCtx.Enabled() {
+		w.runCtx.End()
+		w.runCtx = span.Ctx{}
 	}
 	return res
 }
@@ -520,6 +583,10 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 			fmt.Sprintf("raw_bytes=%d max_rank_bytes=%d min_mem_avail=%d entropy=%.4g",
 				rec.BytesProduced, sample.MaxRankDataBytes, sample.MinMemAvail(), dec.MeanEntropy))
 	}
+	if w.stepCtx.Enabled() && c.Enable.Application {
+		w.stepCtx.Record(span.Op{Name: "policy:application", Layer: span.LayerPolicy,
+			Detail: fmt.Sprintf("%s factor=%d", appDecisionReason(dec), dec.Factor)})
+	}
 
 	// Resource layer: size the staging pool for this data volume.
 	if c.Enable.Resource {
@@ -528,6 +595,10 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 		if w.span.Enabled() {
 			w.span.PolicyDecision("resource", "", "", 0, m,
 				fmt.Sprintf("reduced_bytes=%d prev_cores=%d", redBytes, prev))
+		}
+		if w.stepCtx.Enabled() {
+			w.stepCtx.Record(span.Op{Name: "policy:resource", Layer: span.LayerPolicy,
+				Detail: fmt.Sprintf("cores=%d prev=%d", m, prev)})
 		}
 		w.pool.Resize(m)
 		if m != prev {
@@ -558,6 +629,10 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 			fmt.Sprintf("reduced_bytes=%d transfer_s=%.4g staging_remaining_s=%.4g staging_mem=%d/%d",
 				redBytes, transfer, stagingRemaining, w.stagingMemUsed, sample.StagingMemCap))
 	}
+	if w.stepCtx.Enabled() && c.Enable.Middleware {
+		w.stepCtx.Record(span.Op{Name: "policy:middleware", Layer: span.LayerPolicy,
+			Detail: fmt.Sprintf("placement=%s reason=%s", placement, reason)})
+	}
 
 	// Hybrid placement: when enabled and both sides could host the work,
 	// split the blocks so staging gets exactly what it can absorb before
@@ -582,6 +657,7 @@ func (w *Workflow) runAnalysis(rec *StepRecord, blocks []*field.BoxData, sample 
 			// and runInTransit joins it at the step barrier. Deterministic
 			// mode passes nil so the puts run in today's serialized order.
 			var ship *shipment
+			w.beginShipPhase()
 			if w.cfg.StagingConcurrency > 1 {
 				ship = w.beginShip(w.step, shipBlocks)
 			}
@@ -629,6 +705,10 @@ func (w *Workflow) degradeToInSitu(rec *StepRecord, blocks []*field.BoxData, sam
 	rec.PlacementReason = policy.ReasonStagingFailure
 	rec.HybridFrac = 1
 	w.span.StagingDegrade(policy.ReasonStagingFailure, rec.StagingRetries)
+	if w.stepCtx.Enabled() {
+		w.stepCtx.Record(span.Op{Name: "staging-degrade", Layer: span.LayerNetworkFault,
+			Detail: fmt.Sprintf("%s retries=%d", policy.ReasonStagingFailure, rec.StagingRetries)})
+	}
 	if w.met != nil {
 		w.met.degrades.Inc()
 	}
@@ -664,12 +744,14 @@ func (w *Workflow) runInSitu(rec *StepRecord, blocks []*field.BoxData, sample mo
 		return
 	}
 	c := &w.cfg
+	an := w.tracer.Begin(w.stepCtx, "analyze", span.LayerAnalysis, w.step)
 	dx0 := 1.0 / float64(w.sim.Hierarchy().Cfg.Domain.Size().MaxComp())
 	rep := w.svc.Analyze(blocks, 0, dx0)
 	secs := c.Machine.AnalysisTime(w.scale(rep.CellsSwept), c.SimCores) * sample.Imbalance
 	w.simTL.Schedule(dataReady, secs)
 	rec.AnalysisSeconds += secs
 	rec.Triangles += int(rep.Metrics["triangles"])
+	an.End()
 }
 
 // shipment is one step's in-flight transfer of blocks into the staging
@@ -685,6 +767,19 @@ type shipment struct {
 	settled               bool
 	err                   error
 	done                  chan error
+}
+
+// beginShipPhase opens the step's ship phase span — covering the shipment
+// fan-out, the join, the staged analysis, and the eviction — and points the
+// staging pool at it so pool-op spans parent under the phase. Idempotent
+// within a step; the barrier closes it and re-points the pool at the run
+// span.
+func (w *Workflow) beginShipPhase() {
+	if w.tracer == nil || w.shipCtx.Enabled() {
+		return
+	}
+	w.shipCtx = w.tracer.Begin(w.stepCtx, "ship", span.LayerStagingExec, w.step)
+	setSpanScopeOf(w.store, w.shipCtx)
 }
 
 // beginShip starts shipping one version's blocks into the staging store.
@@ -756,6 +851,7 @@ func (s *shipment) wait() error {
 // the step to in-situ execution.
 func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataReady float64, ship *shipment) bool {
 	if ship == nil {
+		w.beginShipPhase()
 		ship = w.beginShip(w.step, blocks)
 	}
 	if len(blocks) == 0 {
@@ -798,6 +894,7 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	// the time to process data").
 	w.simTL.Schedule(dataReady, transfer*0.1)
 
+	an := w.tracer.Begin(w.shipCtx, "staged-analysis", span.LayerAnalysis, w.step)
 	rep := w.svc.Analyze(got, 0, dx0)
 	// The staging side first receives and indexes the data (its servers —
 	// one per staging node — do that work), then analyzes.
@@ -808,6 +905,7 @@ func (w *Workflow) runInTransit(rec *StepRecord, blocks []*field.BoxData, dataRe
 	_, done := w.pool.RunJob(dataReady+transfer, coreSecs)
 	rec.AnalysisSeconds += done - (dataReady + transfer)
 	rec.Triangles += int(rep.Metrics["triangles"])
+	an.End()
 
 	// The staged version is consumed; free its memory.
 	w.store.DropBefore("analysis", version+1)

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"sync"
@@ -13,17 +16,24 @@ type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
 
+	// serveErr carries the serve loop's exit status so a failure that
+	// happened while scraping ran in the background is not swallowed: Close
+	// and Shutdown surface it (http.ErrServerClosed is the clean exit).
+	serveErr chan error
+
 	closeOnce sync.Once
 	closeErr  error
 }
 
 // ServeMetrics listens on addr (":0" picks a free port) and serves the
 // registry at /metrics (and /, for convenience). It returns once the
-// listener is bound; scraping runs in the background until Close.
+// listener is bound — a bind failure is returned, never logged, so CLI
+// callers can exit nonzero — and scraping runs in the background until
+// Close or Shutdown.
 func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("obs: metrics bind %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	handler := func(w http.ResponseWriter, req *http.Request) {
@@ -33,10 +43,11 @@ func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/metrics", handler)
 	mux.HandleFunc("/", handler)
 	s := &MetricsServer{
-		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:       ln,
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		serveErr: make(chan error, 1),
 	}
-	go s.srv.Serve(ln)
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
 }
 
@@ -46,8 +57,29 @@ func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 // URL returns the scrape URL.
 func (s *MetricsServer) URL() string { return "http://" + s.Addr() + "/metrics" }
 
-// Close stops the server and releases the port.
-func (s *MetricsServer) Close() error {
-	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+// Shutdown stops the server gracefully: the port closes immediately,
+// in-flight scrapes run to completion (or until ctx expires). Safe to call
+// concurrently with Close; the first stop wins and later calls return its
+// result.
+func (s *MetricsServer) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.stop(func() error { return s.srv.Shutdown(ctx) })
+	})
 	return s.closeErr
+}
+
+// Close stops the server immediately — in-flight scrapes are severed — and
+// releases the port.
+func (s *MetricsServer) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.stop(s.srv.Close) })
+	return s.closeErr
+}
+
+// stop halts the serve loop and folds in its exit status.
+func (s *MetricsServer) stop(halt func() error) error {
+	err := halt()
+	if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
 }

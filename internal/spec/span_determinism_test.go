@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crosslayer/internal/obs/span"
+)
+
+// runSpecSpans builds and runs one concurrent-pool spec with the causal
+// span log wired to a file, and returns the resulting span log bytes.
+func runSpecSpans(t *testing.T, conc int, spansPath string) []byte {
+	t.Helper()
+	w, err := Parse(strings.NewReader(fmt.Sprintf(`{
+		"application": "advection-diffusion",
+		"domain": [16, 16, 16],
+		"adapt": ["application", "middleware"],
+		"factors": [2, 4],
+		"staging_tcp": true,
+		"staging_servers": 3,
+		"staging_replicas": 2,
+		"staging_concurrency": %d,
+		"steps": 4,
+		"spans": %q
+	}`, conc, spansPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wf.Run(w.StepsOrDefault())
+	if err := wf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("ran %d steps, want 4", len(res.Steps))
+	}
+	data, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty span log")
+	}
+	return data
+}
+
+// TestSpecSpanLogDeterministic pins the span-ID and span-ordering
+// determinism contract: with a healthy pool the span log must be
+// byte-identical across repeated invocations at every concurrency level —
+// pool-op spans are buffered and flushed in deterministic (kind, routing
+// key, version) order at the step barrier, all stamps come from the
+// virtual model clock, and span IDs derive from (seed, step, op-seq).
+func TestSpecSpanLogDeterministic(t *testing.T) {
+	for _, conc := range []int{1, 8} {
+		conc := conc
+		t.Run(fmt.Sprintf("conc%d", conc), func(t *testing.T) {
+			dir := t.TempDir()
+			first := runSpecSpans(t, conc, filepath.Join(dir, "a.jsonl"))
+			second := runSpecSpans(t, conc, filepath.Join(dir, "b.jsonl"))
+			if !bytes.Equal(first, second) {
+				t.Fatalf("span logs differ across runs at staging_concurrency=%d:\nrun1 %d bytes, run2 %d bytes",
+					conc, len(first), len(second))
+			}
+		})
+	}
+}
+
+// TestSpecSpanLogGolden pins the serialized (concurrency 1) span log
+// against a committed golden file — the same contract as the event-stream
+// golden — so accidental changes to span ordering, ID derivation, fields,
+// or the virtual clock show up as a diff. Regenerate with
+// `go test ./internal/spec -run TestSpecSpanLogGolden -update`.
+func TestSpecSpanLogGolden(t *testing.T) {
+	got := runSpecSpans(t, 1, filepath.Join(t.TempDir(), "spans.jsonl"))
+	golden := filepath.Join("testdata", "spans_conc1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("span log drifted from %s (%d bytes, want %d); rerun with -update if intentional",
+			golden, len(got), len(want))
+	}
+}
+
+// TestSpecSpanTreeWellFormed reconstructs the span tree from a seeded run
+// and checks the structural contract end to end: every span well-parented,
+// exactly one root (the run span), every pool op inside a phase, and ≥ 90%
+// of each step's wall time attributed to named layers by the blame sweep.
+func TestSpecSpanTreeWellFormed(t *testing.T) {
+	for _, conc := range []int{1, 8} {
+		conc := conc
+		t.Run(fmt.Sprintf("conc%d", conc), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "spans.jsonl")
+			runSpecSpans(t, conc, path)
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			spans, err := span.ReadSpans(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := span.BuildTree(spans)
+			if err != nil {
+				t.Fatalf("span tree ill-formed: %v", err)
+			}
+			roots := tree.Roots()
+			if len(roots) != 1 || roots[0].Name != "run" {
+				t.Fatalf("want single run root, got %d roots", len(roots))
+			}
+			steps := tree.Analyze()
+			if len(steps) != 4 {
+				t.Fatalf("blame found %d steps, want 4", len(steps))
+			}
+			for _, s := range steps {
+				if s.Seconds > 0 && s.Coverage < 0.9 {
+					t.Errorf("step %d: only %.0f%% of wall time attributed to layers",
+						s.Step, 100*s.Coverage)
+				}
+			}
+		})
+	}
+}

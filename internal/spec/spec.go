@@ -23,6 +23,7 @@ import (
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
 	"crosslayer/internal/solver"
@@ -108,6 +109,12 @@ type Workflow struct {
 	// as JSON Lines to this file. Timestamps are model time, so a seeded
 	// run reproduces the stream byte for byte.
 	Events string `json:"events"`
+	// Spans, when set, streams the causal span tree (run → step → phase →
+	// policy decision → pool op → per-endpoint RPC) as JSON Lines to this
+	// file. Span stamps are model time and span/trace IDs derive from the
+	// spec's deterministic seed, so a seeded run reproduces the log byte
+	// for byte at any staging_concurrency.
+	Spans string `json:"spans"`
 	// MetricsAddr, when set, serves Prometheus text metrics on this
 	// address (host:port; ":0" picks a free port — see BoundMetricsAddr)
 	// for the duration of the run.
@@ -387,6 +394,21 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 		cfg.Obs = emitter
 		closers = append(closers, emitter)
 	}
+	var tracer *span.Tracer
+	if w.Spans != "" {
+		f, err := os.Create(w.Spans)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, fmt.Errorf("spec: spans: %w", err)
+		}
+		// Appended here — before the transports — so the reverse-order Close
+		// drains the staging pool's buffered spans into a still-open sink.
+		tracer = span.NewTracer(span.NewJSONLSink(f), w.traceSeed())
+		cfg.Trace = tracer
+		closers = append(closers, tracer)
+	}
 	var reg *obs.Registry
 	if w.MetricsAddr != "" {
 		reg = obs.NewRegistry()
@@ -414,7 +436,7 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 			cfg.AfterStep = after
 			closers = append(closers, cs...)
 		} else {
-			client, srv, err := w.buildStagingTCP(amrCfg.Domain, emitter, reg)
+			client, srv, err := w.buildStagingTCP(amrCfg.Domain, emitter, tracer, reg)
 			if err != nil {
 				for _, c := range closers {
 					c.Close()
@@ -442,7 +464,7 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 // buildStagingTCP stands up a loopback staging server (optionally behind the
 // spec's fault plan) and dials a resilient client with a tight retry budget,
 // so a dead server degrades steps instead of stalling the run for minutes.
-func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, reg *obs.Registry) (*staging.Client, *staging.Server, error) {
+func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, tr *span.Tracer, reg *obs.Registry) (*staging.Client, *staging.Server, error) {
 	space := staging.NewSpace(4, 0, domain)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -473,8 +495,13 @@ func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, reg *obs.Re
 		// faults happen synchronously under the workflow's op loop, so the
 		// fault_injected events they emit are deterministic.
 		dialPlan := plan
-		if em != nil {
-			dialPlan.OnFault = em.FaultInjected
+		if em != nil || tr != nil {
+			dialPlan.OnFault = func(fault, detail string) {
+				if em != nil {
+					em.FaultInjected(fault, detail)
+				}
+				tr.Fault(fault, detail) // nil-safe; spans the fault under the current step
+			}
 		}
 		opts.DialFunc = dialPlan.Dialer()
 	}
@@ -558,6 +585,15 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 		}
 	}
 	return pool, closers, after, nil
+}
+
+// traceSeed derives the deterministic trace-ID seed from the spec fields
+// that shape a run, so equal specs trace equal IDs and distinct
+// configurations get distinct traces.
+func (w *Workflow) traceSeed() string {
+	return fmt.Sprintf("%s/%s/%v/steps=%d/servers=%d/replicas=%d/conc=%d",
+		w.Application, w.Objective, w.Adapt, w.StepsOrDefault(),
+		w.StagingServers, w.StagingReplicas, w.StagingConcurrency)
 }
 
 // BoundMetricsAddr returns the actual metrics listen address after Build

@@ -1,14 +1,18 @@
 package staging
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 )
 
 // Pool is a replicated, sharded client over N TCP staging servers — the
@@ -71,11 +75,13 @@ type Pool struct {
 
 	// stateMu guards the shared mutable state both paths touch: breaker
 	// fields on each endpoint, the live-version manifest, the buffered
-	// event queue, and the closed flag.
-	stateMu sync.Mutex
-	live    map[string]map[int]int // var -> version -> blocks recorded
-	pending []poolEvent
-	closed  bool
+	// event and span queues, the span scope, and the closed flag.
+	stateMu      sync.Mutex
+	live         map[string]map[int]int // var -> version -> blocks recorded
+	pending      []poolEvent
+	pendingSpans []*opRec
+	scope        span.Ctx // phase span pool ops parent under (SetSpanScope)
+	closed       bool
 
 	sem     chan struct{} // bounds total in-flight endpoint ops (concurrent path)
 	workers sync.WaitGroup
@@ -292,6 +298,7 @@ func (p *Pool) Close() error {
 		}
 		p.workers.Wait()
 		p.DrainEvents()
+		p.DrainSpans()
 	}
 	var first error
 	for _, ep := range p.eps {
@@ -304,12 +311,19 @@ func (p *Pool) Close() error {
 
 // worker drains one endpoint's job queue. One worker per endpoint keeps a
 // single in-flight pipeline per connection: operations against an endpoint
-// are ordered even when many callers fan out across the pool.
+// are ordered even when many callers fan out across the pool. The goroutine
+// carries pprof labels (endpoint index, shard) so CPU profiles
+// cross-reference the span blame table's per-endpoint split.
 func (p *Pool) worker(ep *endpoint) {
 	defer p.workers.Done()
-	for fn := range ep.jobs {
-		fn()
-	}
+	labels := pprof.Labels(
+		"xlayer_endpoint", strconv.Itoa(ep.idx),
+		"xlayer_shard", strconv.Itoa(ep.idx))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		for fn := range ep.jobs {
+			fn()
+		}
+	})
 }
 
 // submit schedules fn on ep's worker. The pool-wide semaphore is acquired
@@ -366,6 +380,195 @@ func (p *Pool) DrainEvents() {
 	})
 	for _, ev := range evs {
 		ev.emit(p.events)
+	}
+}
+
+// Pool-op span kinds, in drain order within a step's batch.
+const (
+	opRankPut = iota
+	opRankGet
+	opRankDrop
+	opRankRepair
+)
+
+// opRec is one pool-op span under construction, with its per-endpoint RPC
+// children. On the deterministic path it is emitted inline when the op
+// finishes; on the concurrent path it is buffered until DrainSpans, where
+// records are ordered by deterministic properties of the operation — op
+// kind, block Morton code or shard/endpoint index, version, detail — never
+// by goroutine arrival order, so seeded concurrent runs produce
+// byte-identical span logs.
+type opRec struct {
+	parent span.Ctx
+	kind   int
+	key1   uint64
+	key2   int64
+	op     span.Op
+
+	mu   sync.Mutex
+	rpcs []rpcRec
+}
+
+// rpcRec is one endpoint client call within a pool op; j is the replica
+// index within the op — the deterministic intra-op emission order.
+type rpcRec struct {
+	j  int
+	op span.Op
+}
+
+// SetSpanScope installs the phase span pool operations parent under and
+// forwards the wire trace context to every endpoint client. The workflow
+// sets it at phase boundaries (quiet points), so in-flight operations never
+// race a scope change. A zero Ctx disables pool spans and wire stamping.
+func (p *Pool) SetSpanScope(c span.Ctx) {
+	p.stateMu.Lock()
+	p.scope = c
+	p.stateMu.Unlock()
+	trace, parent := c.WireIDs()
+	for _, ep := range p.eps {
+		ep.client.SetSpanScope(trace, parent)
+	}
+}
+
+// spanScope reads the current scope.
+func (p *Pool) spanScope() span.Ctx {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	return p.scope
+}
+
+// newOpRec starts a pool-op span record, nil when tracing is off (every
+// *opRec method is nil-safe, so call sites never branch).
+func (p *Pool) newOpRec(kind int, key1 uint64, key2 int64, name, detail string) *opRec {
+	scope := p.spanScope()
+	if !scope.Enabled() {
+		return nil
+	}
+	return &opRec{parent: scope, kind: kind, key1: key1, key2: key2,
+		op: span.Op{Name: name, Layer: span.LayerStagingExec, Detail: detail}}
+}
+
+// blockKey is a put's deterministic sort key: the block's Morton code, the
+// same bucketing the router and the assembly sort use.
+func (p *Pool) blockKey(b grid.Box) uint64 {
+	return uint64(grid.MortonCode(b.Lo.Sub(p.domain.Lo).Max(grid.Zero)))
+}
+
+// nowNs is a wall stamp for queue/exec measurement: zero (free) unless the
+// scope's tracer measures wall durations.
+func (r *opRec) nowNs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.parent.Tracer().NowNs()
+}
+
+// rpc records one endpoint client call: queueNs is the measured queue wait
+// (0 on the deterministic path), e0 the nowNs stamp taken before the call,
+// errLabel a stable transport-error label (errDetail) or "".
+func (r *opRec) rpc(j, endpoint int, name string, queueNs, e0 int64, errLabel string) {
+	if r == nil {
+		return
+	}
+	execNs := r.parent.Tracer().NowNs() - e0
+	r.mu.Lock()
+	r.rpcs = append(r.rpcs, rpcRec{j: j, op: span.Op{
+		Name: name, Layer: span.LayerStagingExec, Endpoint: endpoint,
+		QueueNs: queueNs, ExecNs: execNs, Err: errLabel,
+	}})
+	r.mu.Unlock()
+}
+
+// markFailover tags a shard-read op served by a replica (the span-side twin
+// of the failover_get event; the chaos span-tree invariant counts them).
+func (r *opRec) markFailover(endpoint int) {
+	if r == nil {
+		return
+	}
+	r.op.Detail += fmt.Sprintf(" failover=ep%d", endpoint)
+}
+
+// poolErrLabel reduces a pool-op outcome to a stable span error label.
+func poolErrLabel(err error) string {
+	switch {
+	case err == nil, errors.Is(err, ErrNotFound):
+		return ""
+	case errors.Is(err, ErrNoMemory):
+		return "no memory"
+	case errors.Is(err, ErrStagingUnavailable):
+		return "staging unavailable"
+	}
+	return "transport error"
+}
+
+// finish stamps the op's outcome, aggregates its RPCs' wall durations, and
+// sinks the record (inline or buffered per the data path).
+func (r *opRec) finish(p *Pool, err error) {
+	if r == nil {
+		return
+	}
+	r.op.Err = poolErrLabel(err)
+	r.mu.Lock()
+	for i := range r.rpcs {
+		r.op.QueueNs += r.rpcs[i].op.QueueNs
+		r.op.ExecNs += r.rpcs[i].op.ExecNs
+	}
+	r.mu.Unlock()
+	if p.conc <= 1 {
+		r.emit()
+		return
+	}
+	p.stateMu.Lock()
+	p.pendingSpans = append(p.pendingSpans, r)
+	p.stateMu.Unlock()
+}
+
+// emit writes the op span and its RPC children, RPCs ordered by replica
+// index regardless of completion order. The lock guards against a hedged
+// read still in flight when its op already settled.
+func (r *opRec) emit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.SliceStable(r.rpcs, func(i, j int) bool { return r.rpcs[i].j < r.rpcs[j].j })
+	c := r.parent.Record(r.op)
+	for i := range r.rpcs {
+		c.Record(r.rpcs[i].op)
+	}
+}
+
+// DrainSpans flushes pool-op spans buffered by the concurrent data path,
+// ordered by (op kind, routing key, version, name, detail) — all
+// deterministic properties of the operations — so concurrent-mode span logs
+// reproduce byte for byte. The workflow calls this at each step barrier,
+// while the step's phase spans are still open, so the drained spans sit
+// inside their parents' intervals. No-op on the deterministic path, which
+// emits inline.
+func (p *Pool) DrainSpans() {
+	if p.conc <= 1 {
+		return
+	}
+	p.stateMu.Lock()
+	recs := p.pendingSpans
+	p.pendingSpans = nil
+	p.stateMu.Unlock()
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.key1 != b.key1 {
+			return a.key1 < b.key1
+		}
+		if a.key2 != b.key2 {
+			return a.key2 < b.key2
+		}
+		if a.op.Name != b.op.Name {
+			return a.op.Name < b.op.Name
+		}
+		return a.op.Detail < b.op.Detail
+	})
+	for _, r := range recs {
+		r.emit()
 	}
 }
 
@@ -489,6 +692,8 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	primary := p.route(d.Box)
+	rec := p.newOpRec(opRankPut, p.blockKey(d.Box), int64(version), "pool:put",
+		fmt.Sprintf("var=%s version=%d", varName, version))
 	n := len(p.eps)
 	stored := 0
 	noMem := false
@@ -502,19 +707,25 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 		if !p.usable(ep) {
 			continue
 		}
+		e0 := rec.nowNs()
 		switch err := ep.client.Put(name, version, d); {
 		case err == nil:
 			p.opOK(ep)
 			stored++
+			rec.rpc(j, ep.idx, "rpc:put", 0, e0, "")
 		case errors.Is(err, ErrNoMemory):
 			p.opOK(ep)
 			noMem = true
+			rec.rpc(j, ep.idx, "rpc:put", 0, e0, "no memory")
 		default:
 			lastErr = err
 			p.opFail(ep)
+			rec.rpc(j, ep.idx, "rpc:put", 0, e0, errDetail(err))
 		}
 	}
-	return p.finishPut(varName, version, stored, noMem, lastErr)
+	err := p.finishPut(varName, version, stored, noMem, lastErr)
+	rec.finish(p, err)
+	return err
 }
 
 // putConcurrent fans one block's replica-set writes out to the endpoint
@@ -522,6 +733,8 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 // path does.
 func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) error {
 	primary := p.route(d.Box)
+	rec := p.newOpRec(opRankPut, p.blockKey(d.Box), int64(version), "pool:put",
+		fmt.Sprintf("var=%s version=%d", varName, version))
 	n := len(p.eps)
 	type putRes struct {
 		stored bool
@@ -537,25 +750,32 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 	// them in FIFO order, so the repair never misses a block whose primary
 	// write it raced.
 	for j := p.replicas - 1; j >= 0; j-- {
+		j := j
 		ep := p.eps[(primary+j)%n]
 		name := varName
 		if j > 0 {
 			name = replicaVar(varName, primary)
 		}
+		enq := rec.nowNs()
 		p.submit(ep, func() {
+			q0 := rec.nowNs()
 			if !p.usable(ep) {
 				ch <- putRes{}
 				return
 			}
+			e0 := rec.nowNs()
 			switch err := ep.client.Put(name, version, d); {
 			case err == nil:
 				p.opOK(ep)
+				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, "")
 				ch <- putRes{stored: true}
 			case errors.Is(err, ErrNoMemory):
 				p.opOK(ep)
+				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, "no memory")
 				ch <- putRes{noMem: true}
 			default:
 				p.opFail(ep)
+				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, errDetail(err))
 				ch <- putRes{err: err}
 			}
 		})
@@ -575,7 +795,9 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 			lastErr = r.err
 		}
 	}
-	return p.finishPut(varName, version, stored, noMem, lastErr)
+	err := p.finishPut(varName, version, stored, noMem, lastErr)
+	rec.finish(p, err)
+	return err
 }
 
 // finishPut turns the replica-write tallies into the Put result and records
@@ -663,6 +885,8 @@ func (p *Pool) getBlocksConcurrent(varName string, version int, region grid.Box)
 // the replica ring. A NotFound answer is authoritative (the shard holds
 // nothing in the region); only transport failures fall through.
 func (p *Pool) getShard(shard int, varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	rec := p.newOpRec(opRankGet, uint64(shard), int64(version), "pool:get",
+		fmt.Sprintf("var=%s version=%d shard=%d", varName, version, shard))
 	n := len(p.eps)
 	var lastErr error
 	for j := 0; j < p.replicas; j++ {
@@ -674,23 +898,36 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 		if !p.usable(ep) {
 			continue
 		}
+		e0 := rec.nowNs()
 		blocks, err := ep.client.GetBlocks(name, version, region)
 		switch {
 		case err == nil:
 			p.opOK(ep)
+			rec.rpc(j, ep.idx, "rpc:get", 0, e0, "")
 			if j > 0 {
 				p.noteFailover(shard, ep.idx)
+				rec.markFailover(ep.idx)
 			}
+			rec.finish(p, nil)
 			return blocks, nil
 		case errors.Is(err, ErrNotFound):
 			p.opOK(ep)
+			rec.rpc(j, ep.idx, "rpc:get", 0, e0, "")
+			if j > 0 {
+				p.noteFailover(shard, ep.idx)
+				rec.markFailover(ep.idx)
+			}
+			rec.finish(p, nil)
 			return nil, nil
 		default:
 			lastErr = err
 			p.opFail(ep)
+			rec.rpc(j, ep.idx, "rpc:get", 0, e0, errDetail(err))
 		}
 	}
-	return nil, shardLostErr(shard, lastErr)
+	err := shardLostErr(shard, lastErr)
+	rec.finish(p, err)
+	return nil, err
 }
 
 // getShardC is the concurrent-path shard read. The primary is always asked;
@@ -705,6 +942,8 @@ func (p *Pool) getShard(shard int, varName string, version int, region grid.Box)
 // replicas are tried sequentially only after the launched requests all
 // failed.
 func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	rec := p.newOpRec(opRankGet, uint64(shard), int64(version), "pool:get",
+		fmt.Sprintf("var=%s version=%d shard=%d", varName, version, shard))
 	n := len(p.eps)
 	type shardAns struct {
 		j        int
@@ -720,21 +959,27 @@ func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box
 		if j > 0 {
 			name = replicaVar(varName, shard)
 		}
+		enq := rec.nowNs()
 		p.submit(ep, func() {
+			q0 := rec.nowNs()
 			if !p.usable(ep) {
 				ch <- shardAns{j: j, skipped: true}
 				return
 			}
+			e0 := rec.nowNs()
 			blocks, err := ep.client.GetBlocks(name, version, region)
 			switch {
 			case err == nil:
 				p.opOK(ep)
+				rec.rpc(j, ep.idx, "rpc:get", q0-enq, e0, "")
 				ch <- shardAns{j: j, blocks: blocks}
 			case errors.Is(err, ErrNotFound):
 				p.opOK(ep)
+				rec.rpc(j, ep.idx, "rpc:get", q0-enq, e0, "")
 				ch <- shardAns{j: j, notFound: true}
 			default:
 				p.opFail(ep)
+				rec.rpc(j, ep.idx, "rpc:get", q0-enq, e0, errDetail(err))
 				ch <- shardAns{j: j, err: err}
 			}
 		})
@@ -768,11 +1013,13 @@ func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box
 			}
 		case a.notFound:
 			if a.j == 0 {
+				rec.finish(p, nil)
 				return nil, nil
 			}
 			replicaEmpty = a.j
 		default:
 			if a.j == 0 {
+				rec.finish(p, nil)
 				return a.blocks, nil
 			}
 			replicaBlocks, replicaJ = a.blocks, a.j
@@ -780,10 +1027,14 @@ func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box
 		if primaryFailed {
 			if replicaBlocks != nil {
 				p.noteFailover(shard, p.eps[(shard+replicaJ)%n].idx)
+				rec.markFailover(p.eps[(shard+replicaJ)%n].idx)
+				rec.finish(p, nil)
 				return replicaBlocks, nil
 			}
 			if replicaEmpty >= 0 {
 				p.noteFailover(shard, p.eps[(shard+replicaEmpty)%n].idx)
+				rec.markFailover(p.eps[(shard+replicaEmpty)%n].idx)
+				rec.finish(p, nil)
 				return nil, nil
 			}
 		}
@@ -793,7 +1044,9 @@ func (p *Pool) getShardC(shard int, varName string, version int, region grid.Box
 			pending++
 		}
 	}
-	return nil, shardLostErr(shard, lastErr)
+	err := shardLostErr(shard, lastErr)
+	rec.finish(p, err)
+	return nil, err
 }
 
 // noteFailover records a shard read served by a replica.
@@ -823,7 +1076,8 @@ func (p *Pool) DropBefore(varName string, version int) (int64, error) {
 	defer p.mu.Unlock()
 	var freed int64
 	for i := range p.eps {
-		freed += p.dropOnEndpoint(i, varName, version)
+		rec := p.dropRec(i, version, varName)
+		freed += p.dropOnEndpoint(i, varName, version, rec, rec.nowNs())
 	}
 	p.dropLive(varName, version)
 	return freed, nil
@@ -834,8 +1088,10 @@ func (p *Pool) dropBeforeConcurrent(varName string, version int) (int64, error) 
 	ch := make(chan int64, len(p.eps))
 	for i := range p.eps {
 		i := i
+		rec := p.dropRec(i, version, varName)
+		enq := rec.nowNs()
 		p.submit(p.eps[i], func() {
-			ch <- p.dropOnEndpoint(i, varName, version)
+			ch <- p.dropOnEndpoint(i, varName, version, rec, enq)
 		})
 	}
 	var freed int64
@@ -846,11 +1102,21 @@ func (p *Pool) dropBeforeConcurrent(varName string, version int) (int64, error) 
 	return freed, nil
 }
 
+// dropRec starts the span record for one endpoint's eviction.
+func (p *Pool) dropRec(i, version int, varName string) *opRec {
+	return p.newOpRec(opRankDrop, uint64(i), int64(version), "pool:drop",
+		fmt.Sprintf("var=%s below=%d ep=%d", varName, version, i))
+}
+
 // dropOnEndpoint evicts varName (and the replica variables endpoint i
-// hosts) below version on that endpoint, returning bytes freed.
-func (p *Pool) dropOnEndpoint(i int, varName string, version int) int64 {
+// hosts) below version on that endpoint, returning bytes freed. enq is the
+// wall stamp taken at submit time (queue-wait measurement; the serialized
+// path stamps it just before the inline call, so the wait is ~0).
+func (p *Pool) dropOnEndpoint(i int, varName string, version int, rec *opRec, enq int64) int64 {
+	q0 := rec.nowNs()
 	ep := p.eps[i]
 	if !p.usable(ep) {
+		// No RPC issued: drop the record rather than log a zero-width span.
 		return 0
 	}
 	n := len(p.eps)
@@ -859,15 +1125,25 @@ func (p *Pool) dropOnEndpoint(i int, varName string, version int) int64 {
 		names = append(names, replicaVar(varName, (i-j+n)%n))
 	}
 	var freed int64
-	for _, name := range names {
+	var dropErr error
+	for j, name := range names {
+		queue := int64(0)
+		if j == 0 {
+			queue = q0 - enq
+		}
+		e0 := rec.nowNs()
 		f, err := ep.client.DropBefore(name, version)
 		if err != nil {
 			p.opFail(ep)
+			rec.rpc(j, ep.idx, "rpc:drop", queue, e0, errDetail(err))
+			dropErr = err
 			break
 		}
 		p.opOK(ep)
+		rec.rpc(j, ep.idx, "rpc:drop", queue, e0, "")
 		freed += f
 	}
+	rec.finish(p, dropErr)
 	return freed
 }
 
@@ -936,6 +1212,8 @@ func (p *Pool) liveSnapshot() (vars []string, versions map[string][]int) {
 // it and returns false, and the caller must keep the endpoint out of
 // rotation so its incomplete store cannot serve authoritative reads.
 func (p *Pool) repair(ep *endpoint) bool {
+	rec := p.newOpRec(opRankRepair, uint64(ep.idx), 0, "pool:repair", "")
+	t0 := rec.nowNs()
 	n := len(p.eps)
 	vars, versionsOf := p.liveSnapshot()
 
@@ -987,6 +1265,14 @@ func (p *Pool) repair(ep *endpoint) bool {
 	p.mRepairs.Inc()
 	p.mRepaired.Add(float64(blocks))
 	p.sinkEvent(ep.idx, rankRepair, func(e *obs.Emitter) { e.Repair(ep.idx, blocks, bytes) })
+	// One span per completed pass, mirroring the repair event (the chaos
+	// span-tree invariant counts them against each other). Aborted passes
+	// emit neither.
+	if rec != nil {
+		rec.op.Detail = fmt.Sprintf("ep=%d blocks=%d bytes=%d", ep.idx, blocks, bytes)
+		rec.op.ExecNs = rec.nowNs() - t0
+	}
+	rec.finish(p, nil)
 	return true
 }
 

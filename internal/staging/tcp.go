@@ -17,6 +17,7 @@ import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/obs"
+	"crosslayer/internal/obs/span"
 )
 
 // TCP transport for the staging space: a Server exposes a Space over a
@@ -47,17 +48,57 @@ import (
 //	  opGet   count uint32 | count wire-format blocks
 //	  opDrop  freed int64
 //	  opStat  used int64
+//
+// Trace-context extension: a client carrying an active span scope sets the
+// opFlagTrace bit on the op byte and inserts a fixed 16-byte header —
+// trace uint64 | parent-span uint64, little-endian — between the version
+// and the body. A traced server parents its per-request child span under
+// those IDs. The extension is strictly opt-in per deployment: a client with
+// no span scope emits the exact pre-extension byte stream, so old servers
+// interoperate with new clients (and a new server serves unflagged requests
+// with no child spans, so old clients interoperate too). Stamping the
+// extension at a server that predates it is a configuration error — the
+// old server rejects the flagged op byte as an unknown op.
 const (
 	opPut  = 1
 	opGet  = 2
 	opDrop = 3
 	opStat = 4
 
+	// opFlagTrace marks a request carrying the trace-context extension.
+	opFlagTrace = 0x80
+
 	statusOK       = 0
 	statusNotFound = 1
 	statusNoMemory = 2
 	statusBad      = 3
 )
+
+// traceExtSize is the wire size of the trace-context extension.
+const traceExtSize = 16
+
+// traceExt is the decoded trace-context request-header extension.
+type traceExt struct {
+	Trace  uint64 // trace ID (zero = no active trace; never stamped)
+	Parent uint64 // parent span ID for server-side child spans
+}
+
+// encodeTraceExt renders ext into its fixed wire form.
+func encodeTraceExt(ext traceExt) [traceExtSize]byte {
+	var b [traceExtSize]byte
+	binary.LittleEndian.PutUint64(b[0:], ext.Trace)
+	binary.LittleEndian.PutUint64(b[8:], ext.Parent)
+	return b
+}
+
+// decodeTraceExt parses the fixed wire form (decode ∘ encode ≡ identity —
+// fuzz-enforced by FuzzSpanWireHeader).
+func decodeTraceExt(b [traceExtSize]byte) traceExt {
+	return traceExt{
+		Trace:  binary.LittleEndian.Uint64(b[0:]),
+		Parent: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
 
 // ErrProtocol reports a malformed or unexpected protocol exchange.
 var ErrProtocol = errors.New("staging: protocol error")
@@ -75,6 +116,7 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	metrics atomic.Pointer[serverMetrics]
+	tracer  atomic.Pointer[span.Tracer]
 
 	mu     sync.Mutex
 	closed bool
@@ -128,6 +170,18 @@ func (s *Server) Observe(reg *obs.Registry) {
 			"Client connections currently being served."),
 	}
 	s.metrics.Store(m)
+}
+
+// Trace installs a tracer for server-side child spans: every request that
+// carries the trace-context extension emits one span for its decode/store
+// (or read/encode) work, parented under the wire-propagated trace and
+// parent-span IDs. Requests without the extension emit nothing — old
+// clients stay span-silent. A nil tracer is ignored.
+func (s *Server) Trace(tr *span.Tracer) {
+	if tr == nil {
+		return
+	}
+	s.tracer.Store(tr)
 }
 
 // countingConn tallies raw connection traffic into the server's counters.
@@ -258,7 +312,7 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	op := hdr[0]
+	op := hdr[0] &^ opFlagTrace
 	if m := s.metrics.Load(); m != nil {
 		m.count(op)
 	}
@@ -277,6 +331,57 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 	varName := string(nameBuf)
 	version := int(int32(binary.LittleEndian.Uint32(verBuf[:])))
 
+	var ext traceExt
+	if hdr[0]&opFlagTrace != 0 {
+		var extBuf [traceExtSize]byte
+		if _, err := io.ReadFull(r, extBuf[:]); err != nil {
+			return err
+		}
+		ext = decodeTraceExt(extBuf)
+	}
+	if tr := s.tracer.Load(); tr != nil && ext.Trace != 0 {
+		t0 := tr.NowNs()
+		err := s.dispatch(op, varName, version, r, w)
+		tr.RecordRemote(ext.Trace, ext.Parent, span.Op{
+			Name:   "srv:" + opName(op),
+			Layer:  span.LayerStagingExec,
+			ExecNs: tr.NowNs() - t0,
+			Err:    srvErrLabel(err),
+			Detail: fmt.Sprintf("var=%s version=%d", varName, version),
+		})
+		return err
+	}
+	return s.dispatch(op, varName, version, r, w)
+}
+
+// opName renders an op byte for span names.
+func opName(op byte) string {
+	switch op {
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opDrop:
+		return "drop"
+	case opStat:
+		return "stat"
+	}
+	return "unknown"
+}
+
+// srvErrLabel reduces a dispatch error to a stable label for server spans.
+func srvErrLabel(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrProtocol):
+		return "protocol error"
+	}
+	return "transport error"
+}
+
+// dispatch serves one decoded request header's body and response.
+func (s *Server) dispatch(op byte, varName string, version int, r *bufio.Reader, w *bufio.Writer) error {
 	switch op {
 	case opPut:
 		var seqBuf [8]byte
@@ -420,6 +525,11 @@ type Client struct {
 	seq        atomic.Int64 // last logical-put sequence number issued
 	seqBase    int64        // this client's slice of the process seq space
 
+	// Wire trace context (SetSpanScope): stamped into the request-header
+	// extension while traceID is nonzero.
+	traceID  atomic.Uint64
+	parentID atomic.Uint64
+
 	// Registry-backed mirrors of retries/reconnects (live but unregistered
 	// instruments when ClientOptions.Metrics is nil, so no branching).
 	mRetries    *obs.Counter
@@ -518,6 +628,17 @@ func (c *Client) TransportStats() (retries, reconnects int64) {
 	return c.retries.Load(), c.reconnects.Load()
 }
 
+// SetSpanScope installs the trace context stamped into subsequent requests'
+// header extension: the current phase span's (trace, span) IDs, under which
+// a traced server parents its per-request child spans. A zero trace
+// disables stamping and restores the exact pre-extension byte stream —
+// required when the server predates the extension, which rejects flagged
+// ops as unknown.
+func (c *Client) SetSpanScope(trace, parent uint64) {
+	c.traceID.Store(trace)
+	c.parentID.Store(parent)
+}
+
 // errDetail reduces a transport error to a stable, address-free label for
 // the event stream: raw net errors embed ephemeral ports, which would stop
 // seeded fault runs from reproducing their event log byte for byte.
@@ -600,8 +721,12 @@ func (c *Client) writeHeader(op byte, varName string, version int) error {
 	if len(varName) > 256 {
 		return fmt.Errorf("%w: variable name too long", ErrProtocol)
 	}
+	trace := c.traceID.Load()
 	var hdr [3]byte
 	hdr[0] = op
+	if trace != 0 {
+		hdr[0] |= opFlagTrace
+	}
 	binary.LittleEndian.PutUint16(hdr[1:], uint16(len(varName)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return err
@@ -611,8 +736,16 @@ func (c *Client) writeHeader(op byte, varName string, version int) error {
 	}
 	var ver [4]byte
 	binary.LittleEndian.PutUint32(ver[:], uint32(int32(version)))
-	_, err := c.w.Write(ver[:])
-	return err
+	if _, err := c.w.Write(ver[:]); err != nil {
+		return err
+	}
+	if trace != 0 {
+		ext := encodeTraceExt(traceExt{Trace: trace, Parent: c.parentID.Load()})
+		if _, err := c.w.Write(ext[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *Client) readStatus() (byte, error) {
