@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzSpanWireHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME)
 
 # A seeded chaos sweep over the replicated pool + engine with all
 # cross-layer invariants armed; any violation shrinks to a repro under

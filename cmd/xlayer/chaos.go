@@ -57,8 +57,8 @@ func runChaos(o chaosOpts) error {
 			return err
 		}
 	} else {
-		fmt.Printf("chaos: %d schedules, %d replay-checked, %d durability-armed, %d degraded steps, %d violating\n",
-			rep.Schedules, rep.ReplayChecked, rep.DurabilityChecked, rep.DegradedSteps, len(rep.Failures))
+		fmt.Printf("chaos: %d schedules, %d replay-checked, %d durability-armed, %d crash-resumed (%d resume-checked), %d degraded steps, %d violating\n",
+			rep.Schedules, rep.ReplayChecked, rep.DurabilityChecked, rep.CrashResumes, rep.ResumeChecked, rep.DegradedSteps, len(rep.Failures))
 		for _, f := range rep.Failures {
 			fmt.Printf("  seed %d: %s\n", f.Schedule.Seed, f.Violations[0])
 			fmt.Printf("    shrunk to steps=%d servers=%d faults=%d", f.Shrunk.Steps, f.Shrunk.Servers, f.Shrunk.FaultCount())

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +49,9 @@ func main() {
 	stagingKill := fs.String("staging-kill", "", "crash one pool server mid-run, e.g. server=1,at=3,revive=6 (run mode; needs -staging-servers > 1)")
 	stagingConc := fs.Int("staging-concurrency", 0, "in-flight staging ops per step; >1 enables the parallel data path (run mode; needs -staging-servers > 1)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
+	journalPath := fs.String("journal", "", "write-ahead journal every step barrier to this file; the run becomes resumable after a kill (run mode)")
+	resumeRun := fs.Bool("resume", false, "resume the journaled run in -journal from its last completed step instead of starting fresh (run mode)")
+	haltAfter := fs.Int("halt-after", -1, "execute N steps this process, then exit without flushing or closing anything — a deterministic driver kill for resume testing (run/runspec mode; needs a journal)")
 	eventsPath := fs.String("events", "", "stream structured runtime events as JSON Lines to this file (run mode); event log to summarize (report mode)")
 	spansPath := fs.String("spans", "", "stream the causal span log as JSON Lines to this file (run mode); span log for the per-phase table (report mode)")
 	spansBlame := fs.Bool("blame", false, "print the per-layer wall-time blame table (spans mode)")
@@ -97,12 +102,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: xlayer runspec [flags] <spec.json>")
 			os.Exit(2)
 		}
-		if err := runSpec(fs.Arg(0)); err != nil {
+		if err := runSpec(fs.Arg(0), *haltAfter); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
 	case "run":
-		if err := runWorkflow(runOpts{
+		o := runOpts{
 			app: *app, placement: *placement, objective: *objective,
 			steps: *steps, cores: *cores, staging: *staging,
 			csvPath: *csvPath, jsonlPath: *jsonlPath, plotPath: *plotPath,
@@ -111,7 +116,14 @@ func main() {
 			stagingKill: *stagingKill, stagingConcurrency: *stagingConc,
 			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
 			spansPath: *spansPath,
-		}); err != nil {
+		}
+		var err error
+		if *journalPath != "" || *resumeRun || *haltAfter >= 0 {
+			err = runJournaled(o, *journalPath, *resumeRun, *haltAfter)
+		} else {
+			err = runWorkflow(o)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
@@ -168,7 +180,10 @@ run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -staging-concurrency C (parallel staging data path; needs -staging-servers > 1)
            -events FILE (structured event stream)  -spans FILE (causal span log)
            -metrics-addr ADDR (Prometheus)
-runspec:   xlayer runspec <spec.json>  (see docs/example_spec.json)
+           -journal FILE (write-ahead step journal; makes the run resumable)
+           -resume (continue the journaled run from its last completed step)
+           -halt-after N (run N steps then exit without flushing — a driver kill)
+runspec:   xlayer runspec [-halt-after N] <spec.json>  (see docs/example_spec.json)
 report:    xlayer report -jsonl trace.jsonl | -csv trace.csv | -events events.jsonl | -spans spans.jsonl
 spans:     xlayer spans [-blame] [-critical-path] [-chrome trace.json] spans.jsonl
 bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]
@@ -177,8 +192,12 @@ chaos:     xlayer chaos [-seeds N] [-start-seed S] [-steps MAX] [-out REPRO_DIR]
            xlayer chaos -replay repro.json  (re-run a shrunk repro; violations exit nonzero)`)
 }
 
-// runSpec executes a declarative workflow specification.
-func runSpec(path string) error {
+// runSpec executes a declarative workflow specification. A spec with
+// "journal" set checkpoints every step barrier; one with "resume" continues
+// a previous run from its journal. haltAfter >= 0 executes that many steps
+// and then exits the process without flushing anything — a deterministic
+// driver kill for resume testing.
+func runSpec(path string, haltAfter int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -194,13 +213,216 @@ func runSpec(path string) error {
 	}
 	defer wf.Close()
 	steps := w.StepsOrDefault()
-	res := wf.Run(steps)
+	remaining := steps - wf.NextStep()
+	if remaining < 0 {
+		remaining = 0
+	}
+	if w.ResumedStep() > 0 {
+		fmt.Printf("resuming from journal at step %d\n", w.ResumedStep())
+	}
+	if haltAfter >= 0 {
+		if w.Journal == "" {
+			return fmt.Errorf("-halt-after needs a journal in the spec (the halted run is only recoverable from one)")
+		}
+		if haltAfter < remaining {
+			if err := haltRun(wf, haltAfter); err != nil {
+				return err
+			}
+		}
+	}
+	res := wf.Run(remaining)
+	if err := wf.JournalErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "xlayer: journal degraded:", err)
+	}
 	fmt.Printf("%s (%s) | %d steps\n", sim.Name(), path, steps)
 	fmt.Printf("simulation time: %.2fs   end-to-end: %.2fs   overhead: %.2fs\n",
 		res.SimSecondsTotal, res.EndToEnd, res.OverheadSeconds)
 	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB   energy: %.0f J\n",
 		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30), res.EnergyJoules)
 	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
+	return nil
+}
+
+// haltRun executes n steps and then exits the process immediately — defers
+// skipped, sinks unflushed, listeners leaked — which is exactly the state a
+// SIGKILLed driver leaves behind. Only what the journal's barrier flushes
+// already landed on disk survives for the resume.
+func haltRun(wf *crosslayer.Workflow, n int) error {
+	for i := 0; i < n; i++ {
+		wf.Step()
+	}
+	if err := wf.JournalErr(); err != nil {
+		return fmt.Errorf("halt-after: journal: %w", err)
+	}
+	fmt.Printf("halted before step %d; resume from the journal to continue\n", wf.NextStep())
+	os.Exit(0)
+	return nil
+}
+
+// specFromRunOpts maps the run-mode flags onto the declarative spec,
+// reproducing runWorkflow's exact configuration (24³ domain, max level 1,
+// box size 12, 8 ranks, cell scale 1000, hinted factors {2,4}). Journaled
+// runs build through spec.Build so checkpoint/resume — journal recovery,
+// spec fingerprinting, log-tail amputation — has one implementation; the
+// JSON round-trip applies the same validation a spec file gets and pins the
+// fingerprint to the canonical form.
+func specFromRunOpts(o runOpts, journalPath string, resume bool) (*spec.Workflow, error) {
+	steps := o.steps
+	if steps <= 0 {
+		steps = 20
+	}
+	w := &spec.Workflow{
+		Domain:     [3]int{24, 24, 24},
+		MaxLevel:   1,
+		MaxBoxSize: 12,
+		Ranks:      8,
+		SimCores:   o.cores, StagingCores: o.staging,
+		CellScale: 1000,
+		Steps:     steps,
+		Factors:   []int{2, 4},
+
+		StagingTCP:         o.stagingTCP || o.stagingServers > 1 || o.fault != "",
+		StagingServers:     o.stagingServers,
+		StagingReplicas:    o.stagingReplicas,
+		StagingConcurrency: o.stagingConcurrency,
+
+		Events: o.eventsPath, Spans: o.spansPath, MetricsAddr: o.metricsAddr,
+		Journal: journalPath, Resume: resume,
+	}
+	switch o.app {
+	case "gas":
+		w.Application = "polytropic-gas"
+	case "advdiff":
+		w.Application = "advection-diffusion"
+		w.Periodic = true
+	default:
+		return nil, fmt.Errorf("unknown app %q", o.app)
+	}
+	switch o.objective {
+	case "tts": // spec default
+	case "util":
+		w.Objective = "max-staging-utilization"
+	case "movement":
+		w.Objective = "min-data-movement"
+	default:
+		return nil, fmt.Errorf("unknown objective %q", o.objective)
+	}
+	switch o.placement {
+	case "adaptive":
+		w.Adapt = []string{"application", "middleware", "resource"}
+	case "insitu": // spec default for static runs
+	case "intransit":
+		w.Placement = "intransit"
+	default:
+		return nil, fmt.Errorf("unknown placement %q", o.placement)
+	}
+	kill, err := spec.ParseKill(o.stagingKill)
+	if err != nil {
+		return nil, err
+	}
+	w.StagingKill = kill
+	if o.fault != "" {
+		plan, err := crosslayer.ParseFaultPlan(o.fault)
+		if err != nil {
+			return nil, err
+		}
+		w.Fault = &spec.FaultSpec{
+			Seed:           plan.Seed,
+			RefuseAccepts:  plan.RefuseAccepts,
+			DropAfterBytes: plan.DropAfterBytes,
+			LatencyMS:      float64(plan.Latency) / float64(time.Millisecond),
+			TruncateRate:   plan.TruncateRate,
+			CorruptRate:    plan.CorruptRate,
+		}
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Parse(bytes.NewReader(b))
+}
+
+// runJournaled is the run-mode path for journaled and resumed runs. It
+// builds through the spec layer (see specFromRunOpts), drives the remaining
+// steps — all of them for a fresh run, the tail beyond the last checkpoint
+// for a resume — and honors -halt-after as a deterministic driver kill.
+func runJournaled(o runOpts, journalPath string, resume bool, haltAfter int) error {
+	if haltAfter >= 0 && journalPath == "" {
+		return fmt.Errorf("-halt-after needs -journal (the halted run is only recoverable from a journal)")
+	}
+	w, err := specFromRunOpts(o, journalPath, resume)
+	if err != nil {
+		return err
+	}
+	wf, sim, err := w.Build()
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	steps := w.StepsOrDefault()
+	remaining := steps - wf.NextStep()
+	if remaining < 0 {
+		remaining = 0
+	}
+	if w.ResumedStep() > 0 {
+		fmt.Printf("resuming %s from step %d\n", journalPath, w.ResumedStep())
+	}
+	if haltAfter >= 0 && haltAfter < remaining {
+		if err := haltRun(wf, haltAfter); err != nil {
+			return err
+		}
+	}
+	res := wf.Run(remaining)
+	if err := wf.JournalErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "xlayer: journal degraded:", err)
+	}
+	if missing := wf.ResumeAuditMissing(); missing > 0 {
+		fmt.Fprintf(os.Stderr, "xlayer: resume audit: %d manifest blocks missing from the pool\n", missing)
+	}
+
+	fmt.Printf("%s | %s placement | objective %s | %d steps | journal %s\n",
+		sim.Name(), o.placement, o.objective, steps, journalPath)
+	fmt.Printf("simulation time: %.2fs   end-to-end: %.2fs   overhead: %.2fs\n",
+		res.SimSecondsTotal, res.EndToEnd, res.OverheadSeconds)
+	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB\n",
+		res.InSituSteps, res.InTransitSteps, float64(res.BytesMovedTotal)/(1<<30))
+	fmt.Printf("staging utilization (Eq. 12): %.1f%%\n", 100*res.StagingUtilization)
+	retries, reconnects := 0, 0
+	for _, s := range res.Steps {
+		retries += s.StagingRetries
+		reconnects += s.StagingReconnects
+	}
+	if retries+reconnects > 0 {
+		fmt.Printf("staging transport: %d retries, %d reconnects\n", retries, reconnects)
+	}
+	for _, s := range res.Steps {
+		fmt.Printf("  step %2d: factor %2d, %-10s, M=%3d, sim %.3fs, analysis %.3fs — %s\n",
+			s.Step, s.Factor, s.Placement, s.StagingCores, s.SimSeconds, s.AnalysisSeconds, s.PlacementReason)
+	}
+	if o.csvPath != "" {
+		if err := writeArtifact(o.csvPath, func(f *os.File) error {
+			return crosslayer.WriteTraceCSV(f, res.Steps)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.csvPath)
+	}
+	if o.jsonlPath != "" {
+		if err := writeArtifact(o.jsonlPath, func(f *os.File) error {
+			return crosslayer.WriteTraceJSONL(f, res.Steps)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.jsonlPath)
+	}
+	if o.plotPath != "" {
+		if err := writeArtifact(o.plotPath, func(f *os.File) error {
+			return crosslayer.WritePlotfile(f, wf.Simulation().Hierarchy())
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.plotPath)
+	}
 	return nil
 }
 

@@ -52,6 +52,7 @@ import (
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/journal"
 	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
 	"crosslayer/internal/plotfile"
@@ -176,6 +177,49 @@ type (
 // NewWorkflow validates cfg and builds the runtime around sim.
 func NewWorkflow(cfg Config, sim Simulation) (*Workflow, error) {
 	return core.NewWorkflow(cfg, sim)
+}
+
+// Crash-consistent checkpoint/restart (DESIGN.md §13): a workflow with
+// Config.Journal set writes one write-ahead checkpoint per step barrier;
+// RecoverJournal + ResumeWorkflow rebuild a killed run from the last
+// complete checkpoint.
+type (
+	// JournalWriter appends the write-ahead step journal (Config.Journal).
+	JournalWriter = journal.Writer
+	// JournalHeader identifies the run a journal belongs to.
+	JournalHeader = journal.Header
+	// JournalCheckpoint is one step barrier's worth of resumable state.
+	JournalCheckpoint = journal.Checkpoint
+	// RecoveredJournal is the torn-tail-tolerant scan of a journal file.
+	RecoveredJournal = journal.Recovered
+	// ResumeOptions controls how a resumed workflow re-enters its run.
+	ResumeOptions = core.ResumeOptions
+)
+
+// Journal resume failure modes (fail closed rather than continue a
+// mismatched or unresumable run).
+var (
+	// ErrJournalSpecMismatch: the journal belongs to a different run shape.
+	ErrJournalSpecMismatch = journal.ErrJournalSpecMismatch
+	// ErrJournalTornBeyondBarrier: no complete checkpoint survives.
+	ErrJournalTornBeyondBarrier = journal.ErrJournalTornBeyondBarrier
+	// ErrResumeRequiresJournal: resume requested without a journal file.
+	ErrResumeRequiresJournal = journal.ErrResumeRequiresJournal
+)
+
+// NewJournalWriter wraps w in a write-ahead journal writer; hand it to
+// Config.Journal after WriteHeader.
+func NewJournalWriter(w io.Writer) *JournalWriter { return journal.NewWriter(w) }
+
+// RecoverJournal scans a journal file, tolerating a torn tail: every
+// record before the first incomplete or corrupt frame is kept.
+func RecoverJournal(path string) (*RecoveredJournal, error) { return journal.Recover(path) }
+
+// ResumeWorkflow rebuilds a killed workflow from its recovered journal and
+// the same configuration and (fresh) simulation the original run was built
+// with; the next Step() continues after the last checkpointed step.
+func ResumeWorkflow(cfg Config, sim Simulation, rec *RecoveredJournal, opts ResumeOptions) (*Workflow, error) {
+	return core.ResumeWorkflow(cfg, sim, rec, opts)
 }
 
 // Data containers and analysis services.

@@ -24,7 +24,7 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 }
 
 func TestGenerateCoversFaultSpace(t *testing.T) {
-	var kills, nets, squeezes, conc int
+	var kills, nets, squeezes, conc, crashes int
 	for seed := int64(0); seed < 200; seed++ {
 		s := Generate(seed)
 		kills += len(s.Kills)
@@ -37,10 +37,13 @@ func TestGenerateCoversFaultSpace(t *testing.T) {
 		if s.Concurrency > 1 {
 			conc++
 		}
+		if s.Crash != nil {
+			crashes++
+		}
 	}
-	if kills == 0 || nets == 0 || squeezes == 0 || conc == 0 {
-		t.Fatalf("generator never exercised part of the fault space: kills=%d nets=%d squeezes=%d conc>1=%d",
-			kills, nets, squeezes, conc)
+	if kills == 0 || nets == 0 || squeezes == 0 || conc == 0 || crashes == 0 {
+		t.Fatalf("generator never exercised part of the fault space: kills=%d nets=%d squeezes=%d conc>1=%d crashes=%d",
+			kills, nets, squeezes, conc, crashes)
 	}
 }
 
@@ -206,12 +209,129 @@ func TestTruncateStepsDropsLateFaults(t *testing.T) {
 		Steps: 10, Servers: 2, Replicas: 2, Concurrency: 1,
 		Kills: []Kill{{Server: 0, At: 2, Revive: 3}, {Server: 1, At: 8}},
 		Wipe:  &Wipe{Server: 1, At: 9},
+		Crash: &Crash{At: 7},
 	}
 	got := truncateSteps(s, 5)
-	if got.Steps != 5 || len(got.Kills) != 1 || got.Kills[0].At != 2 || got.Wipe != nil {
+	if got.Steps != 5 || len(got.Kills) != 1 || got.Kills[0].At != 2 || got.Wipe != nil || got.Crash != nil {
 		t.Fatalf("bad truncation: %+v", got)
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatalf("truncated schedule invalid: %v", err)
+	}
+	// A crash that still leaves a post-resume step survives the cut.
+	s.Crash = &Crash{At: 3}
+	if got := truncateSteps(s, 5); got.Crash == nil || got.Crash.At != 3 {
+		t.Fatalf("early crash dropped: %+v", got)
+	}
+}
+
+func TestResumeComparable(t *testing.T) {
+	base := Schedule{
+		Steps: 6, Servers: 3, Replicas: 2, Concurrency: 1,
+		Crash: &Crash{At: 2},
+	}
+	cases := []struct {
+		name string
+		mut  func(*Schedule)
+		want bool
+	}{
+		{"crash only", func(*Schedule) {}, true},
+		{"no crash", func(s *Schedule) { s.Crash = nil }, false},
+		{"concurrent", func(s *Schedule) { s.Concurrency = 4 }, false},
+		{"kills", func(s *Schedule) { s.Kills = []Kill{{Server: 0, At: 1}} }, false},
+		{"wipe", func(s *Schedule) { s.Wipe = &Wipe{Server: 0, At: 1} }, false},
+		{"benign net", func(s *Schedule) { s.Net = &NetFault{LatencyUS: 100} }, true},
+		{"error net", func(s *Schedule) { s.Net = &NetFault{CorruptRate: 0.01} }, false},
+		{"squeeze", func(s *Schedule) { s.SqueezeBytes = 64 << 10 }, true},
+	}
+	for _, c := range cases {
+		s := base
+		c.mut(&s)
+		if got := s.ResumeComparable(); got != c.want {
+			t.Errorf("%s: got %v want %v (%+v)", c.name, got, c.want, s)
+		}
+	}
+}
+
+// A crash-and-resume schedule with nothing else wrong must verify clean:
+// the resumed run's combined event log, span log, and step trace are
+// byte-identical to its uninterrupted twin, the durability audit passes,
+// and the resumed-phase metrics agree with the post-resume tail.
+func TestCrashResumeCleanAndComparable(t *testing.T) {
+	for _, at := range []int{0, 2, 4} {
+		s := Schedule{
+			Seed: 7, Steps: 6, Servers: 3, Replicas: 2, Concurrency: 1,
+			App: "polytropic-gas", Objective: "util",
+			Adapt: []string{"application", "middleware", "resource"}, Factors: []int{2, 4},
+			Crash: &Crash{At: at},
+		}
+		if !s.ResumeComparable() {
+			t.Fatalf("crash-only schedule not resume-comparable: %+v", s)
+		}
+		rr, err := Verify(s)
+		if err != nil {
+			t.Fatalf("crash at %d: verify: %v", at, err)
+		}
+		if len(rr.Violations) != 0 {
+			t.Fatalf("crash at %d: violations: %v", at, rr.Violations)
+		}
+		if len(rr.Steps) != s.Steps {
+			t.Fatalf("crash at %d: resumed run reported %d steps, want %d", at, len(rr.Steps), s.Steps)
+		}
+	}
+}
+
+// A crash combined with server kills must still run end to end (resume
+// determinism is not asserted — the breaker state the kills leave behind
+// is process-local — but durability and the per-step invariants are).
+func TestCrashWithKillsRunsClean(t *testing.T) {
+	s := Schedule{
+		Seed: 11, Steps: 7, Servers: 3, Replicas: 2, Concurrency: 1,
+		Kills: []Kill{{Server: 1, At: 1, Revive: 3}},
+		Crash: &Crash{At: 4},
+	}
+	if s.ResumeComparable() {
+		t.Fatal("schedule with kills must not be resume-comparable")
+	}
+	rr, err := Verify(s)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(rr.Violations) != 0 {
+		t.Fatalf("violations: %v", rr.Violations)
+	}
+}
+
+// A silent wipe before the crash with no replication must be caught — the
+// resume-time manifest audit sees the journaled blocks missing from every
+// replica — proving the durability invariant spans the crash boundary.
+func TestCrashWipeCaughtAcrossResume(t *testing.T) {
+	s := Schedule{
+		Seed: 13, Steps: 6, Servers: 2, Replicas: 1, Concurrency: 1,
+		Wipe:  &Wipe{Server: 0, At: 1},
+		Crash: &Crash{At: 3},
+	}
+	rr, err := Verify(s)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !violates(rr.Violations, InvDurability) {
+		t.Fatalf("wipe across a crash not caught by the durability audit; violations: %v", rr.Violations)
+	}
+}
+
+func TestValidateRejectsBadCrash(t *testing.T) {
+	base := Schedule{Steps: 5, Servers: 2, Replicas: 1, Concurrency: 1}
+	for _, at := range []int{-1, 4, 9} {
+		s := base
+		s.Crash = &Crash{At: at}
+		if err := s.Validate(); err == nil {
+			t.Errorf("crash at %d of %d steps accepted", at, s.Steps)
+		}
+	}
+	s := base
+	s.Crash = &Crash{At: 3}
+	if err := s.Validate(); err != nil {
+		t.Errorf("crash at %d of %d steps rejected: %v", s.Crash.At, s.Steps, err)
 	}
 }

@@ -6,17 +6,57 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"crosslayer/internal/core"
 )
 
 // Verify runs a schedule through the engine and, where the determinism
 // contract holds (Schedule.DeterministicByContract), replays it and
 // compares the two event logs byte for byte — the replay-determinism
-// invariant. The returned result is the first run's, with any replay
-// divergence and any second-run-only violations folded in.
+// invariant. For a crash schedule on the deterministic pool path
+// (Schedule.ResumeComparable) it additionally runs an uninterrupted twin
+// (the same schedule without the crash) and demands the crashed-and-resumed
+// run's combined event log, span log, and step trace match it exactly —
+// the resume-determinism invariant. The returned result is the first run's,
+// with any divergence and any second-run-only violations folded in.
 func Verify(s Schedule) (*RunResult, error) {
 	first, err := Run(s)
 	if err != nil {
 		return nil, err
+	}
+	if s.ResumeComparable() {
+		twin := s
+		twin.Crash = nil
+		golden, err := Run(twin)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(first.EventLog, golden.EventLog) {
+			line, a, b := firstDivergence(first.EventLog, golden.EventLog)
+			first.Violations = append(first.Violations, Violation{
+				Invariant: InvResumeDeterminism,
+				Step:      -1,
+				Detail: fmt.Sprintf("resumed event log diverges from the uninterrupted run at line %d: %q vs %q",
+					line, a, b),
+			})
+		}
+		if !bytes.Equal(first.SpanLog, golden.SpanLog) {
+			line, a, b := firstDivergence(first.SpanLog, golden.SpanLog)
+			first.Violations = append(first.Violations, Violation{
+				Invariant: InvResumeDeterminism,
+				Step:      -1,
+				Detail: fmt.Sprintf("resumed span log diverges from the uninterrupted run at line %d: %q vs %q",
+					line, a, b),
+			})
+		}
+		if d := firstStepDivergence(first.Steps, golden.Steps); d >= 0 {
+			first.Violations = append(first.Violations, Violation{
+				Invariant: InvResumeDeterminism,
+				Step:      d,
+				Detail: fmt.Sprintf("resumed step trace diverges from the uninterrupted run at step %d (%d vs %d steps)",
+					d, len(first.Steps), len(golden.Steps)),
+			})
+		}
 	}
 	if !s.DeterministicByContract() {
 		return first, nil
@@ -57,6 +97,25 @@ func Replay(path string) (*RunResult, error) {
 		return nil, err
 	}
 	return Verify(s)
+}
+
+// firstStepDivergence returns the first index where two step traces differ
+// (including a length mismatch at the shorter trace's end), or -1 when
+// identical.
+func firstStepDivergence(a, b []core.StepRecord) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
 }
 
 func hasViolation(list []Violation, v Violation) bool {
@@ -139,6 +198,8 @@ type Report struct {
 	Schedules         int       `json:"schedules"`
 	ReplayChecked     int       `json:"replay_checked"`
 	DurabilityChecked int       `json:"durability_checked"`
+	CrashResumes      int       `json:"crash_resumes"`
+	ResumeChecked     int       `json:"resume_checked"`
 	DegradedSteps     int       `json:"degraded_steps"`
 	Failures          []Failure `json:"failures,omitempty"`
 }
@@ -173,6 +234,12 @@ func Explore(opts Options) (*Report, error) {
 		rep.Schedules++
 		if s.DeterministicByContract() {
 			rep.ReplayChecked++
+		}
+		if s.Crash != nil {
+			rep.CrashResumes++
+		}
+		if s.ResumeComparable() {
+			rep.ResumeChecked++
 		}
 		if rr.DurabilityChecked {
 			rep.DurabilityChecked++
@@ -219,6 +286,9 @@ func truncateSteps(s Schedule, steps int) Schedule {
 	}
 	if s.Wipe != nil && s.Wipe.At >= steps {
 		out.Wipe = nil
+	}
+	if s.Crash != nil && s.Crash.At > steps-2 {
+		out.Crash = nil
 	}
 	return out
 }

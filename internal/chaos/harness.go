@@ -12,6 +12,7 @@ import (
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/journal"
 	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
@@ -104,7 +105,20 @@ func (t *tallySink) Emit(ev obs.Event) {
 
 func (t *tallySink) Close() error { return t.inner.Close() }
 
-// harness is the per-run state the invariant checks read.
+// Flush forwards to the wrapped JSONL sink so the journal's barrier-flush
+// hook can push buffered events to the log before capturing its offset.
+func (t *tallySink) Flush() error {
+	if f, ok := t.inner.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// harness is the per-run state the invariant checks read. On a crash
+// schedule the run spans two driver "processes"; wf, pool, tally, and reg
+// always point at the current one, tallies accumulates every phase's event
+// counts, and resumeBase is the first step the resumed driver executed (0
+// for uninterrupted runs).
 type harness struct {
 	s           Schedule
 	wf          *core.Workflow
@@ -112,7 +126,9 @@ type harness struct {
 	gates       []*faultnet.Gate
 	spaces      []*staging.Space
 	tally       *tallySink
+	tallies     []*tallySink
 	reg         *obs.Registry
+	resumeBase  int
 	effCooldown int
 	planHas     map[policy.Mechanism]bool
 
@@ -140,55 +156,52 @@ func (h *harness) violate(invariant string, step int, format string, args ...any
 	})
 }
 
+// traceSeedOf derives the deterministic trace-ID seed from the schedule
+// fields that shape a run. Crash is deliberately excluded: a crashed-and-
+// resumed run must share the trace identity of its uninterrupted twin, or
+// the resume-determinism byte comparison could never hold.
+func traceSeedOf(s Schedule) string {
+	return fmt.Sprintf("chaos/seed=%d/steps=%d/servers=%d/replicas=%d/conc=%d",
+		s.Seed, s.Steps, s.Servers, s.Replicas, s.Concurrency)
+}
+
 // Run drives one schedule through the real engine and returns the
 // violations its invariant registry found. The run is hermetic: loopback
-// TCP servers, an in-memory event log, a private metrics registry.
+// TCP servers, in-memory event/span/journal buffers, a private metrics
+// registry. Every run write-ahead journals its step barriers; a schedule
+// with a Crash drives the workflow to the crash barrier, abandons it the
+// way SIGKILL would — workflow, emitter, and tracer dropped with their
+// buffers unflushed, only the pool client's sockets dying with the driver
+// — then recovers the journal and resumes a second workflow over the same
+// staging servers.
 func Run(s Schedule) (*RunResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	domain := grid.NewBox(grid.IV(0, 0, 0), grid.IV(domainSide-1, domainSide-1, domainSide-1))
-	amrCfg := amr.Config{Domain: domain, MaxLevel: 1, NRanks: 8}
-	var sim solver.Simulation
-	if s.App == "polytropic-gas" {
-		sim = solver.NewPolytropicGas(solver.GasConfig{AMR: amrCfg})
-	} else {
-		sim = solver.NewAdvectionDiffusion(solver.AdvDiffConfig{AMR: amrCfg})
-	}
-
-	var logBuf bytes.Buffer
-	tally := &tallySink{inner: obs.NewJSONLSink(&logBuf)}
-	em := obs.NewEmitter(tally)
-	reg := obs.NewRegistry()
-
-	// Every run is traced: the span-tree invariant reconstructs the causal
-	// tree from this log and cross-checks it against the event tallies, and
-	// Verify byte-compares it across replays. The trace seed is a pure
-	// function of the schedule, so a replay shares the trace identity.
-	var spanBuf bytes.Buffer
-	tracer := span.NewTracer(span.NewJSONLSink(&spanBuf), fmt.Sprintf(
-		"chaos/seed=%d/steps=%d/servers=%d/replicas=%d/conc=%d",
-		s.Seed, s.Steps, s.Servers, s.Replicas, s.Concurrency))
 
 	h := &harness{
 		s:            s,
-		tally:        tally,
-		reg:          reg,
 		lossArmed:    true,
 		lastFailStep: -1,
 		dataDead:     make([]bool, s.Servers),
 		planHas:      make(map[policy.Mechanism]bool),
 		probeBoxes:   probeBoxes(),
 	}
-	tally.onUp = func(ep int) {
-		if ep >= 0 && ep < len(h.dataDead) {
-			h.dataDead[ep] = false
-		}
+	for _, m := range policy.Plan(objectiveOf(s.Objective)) {
+		h.planHas[m] = true
 	}
+	h.effCooldown = effectiveCooldown(s.Cooldown)
 
-	var closers []io.Closer
+	// The staging servers outlive a driver crash — in the deployment shape
+	// they are separate processes a workflow kill cannot touch — so they
+	// are stood up once and shared by both phases. Their metrics registry
+	// models the server processes' own and is never cross-checked against
+	// a driver's event stream.
+	srvReg := obs.NewRegistry()
+	var servers []io.Closer
 	fail := func(err error) (*RunResult, error) {
-		for _, c := range closers {
+		for _, c := range servers {
 			c.Close()
 		}
 		return nil, err
@@ -206,12 +219,102 @@ func Run(s Schedule) (*RunResult, error) {
 			wrapped = faultnet.Listen(wrapped, s.Net.plan())
 		}
 		srv := staging.ServeOn(wrapped, space)
-		srv.Observe(reg)
+		srv.Observe(srvReg)
 		addrs = append(addrs, ln.Addr().String())
 		h.gates = append(h.gates, gate)
 		h.spaces = append(h.spaces, space)
-		closers = append(closers, srv)
+		servers = append(servers, srv)
 	}
+
+	var logBuf, spanBuf, jbuf bytes.Buffer
+	crashAt := -1
+	if s.Crash != nil {
+		crashAt = s.Crash.At
+	}
+	res, err := h.drive(&logBuf, &spanBuf, &jbuf, domain, addrs, nil, crashAt)
+	if err != nil {
+		return fail(err)
+	}
+	if s.Crash != nil {
+		rec, err := journal.Scan(bytes.NewReader(jbuf.Bytes()))
+		if err != nil {
+			return fail(fmt.Errorf("chaos: journal recovery: %w", err))
+		}
+		cp := rec.Last()
+		if cp == nil || cp.Step != s.Crash.At {
+			return fail(fmt.Errorf("chaos: journal holds no checkpoint for crash step %d", s.Crash.At))
+		}
+		// The spec layer's openLog, in memory: amputate whatever the dying
+		// driver had buffered past what the last barrier flushed.
+		logBuf.Truncate(int(cp.EventsOffset))
+		spanBuf.Truncate(int(cp.SpansOffset))
+		res, err = h.drive(&logBuf, &spanBuf, &jbuf, domain, addrs, rec, -1)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Final audit: per-step audits run before that step's faults apply, so
+	// a fault scheduled at the last step (a wipe, in particular) is only
+	// visible here.
+	h.checkDurability(s.Steps - 1)
+	durabilityChecked := h.durabilityArmed()
+
+	if err := h.wf.Close(); err != nil {
+		return nil, fmt.Errorf("chaos: close: %w", err)
+	}
+	for _, c := range servers {
+		c.Close()
+	}
+	h.checkEndOfRun(res)
+	h.checkSpanTree(spanBuf.Bytes())
+
+	return &RunResult{
+		Schedule:          s,
+		Violations:        h.violations,
+		EventLog:          append([]byte(nil), logBuf.Bytes()...),
+		SpanLog:           append([]byte(nil), spanBuf.Bytes()...),
+		Steps:             res.Steps,
+		DegradedSteps:     countDegraded(res.Steps),
+		DurabilityChecked: durabilityChecked,
+	}, nil
+}
+
+// drive stands up one workflow "process" over the shared logs, journal,
+// and staging servers, and runs it: a fresh workflow from step 0 when rec
+// is nil, a resumed one from rec's last checkpoint otherwise. crashAt >= 0
+// abandons the phase right after that step's barrier — nothing flushed or
+// closed except the pool client — and returns a zero Result; the resumed
+// phase reports the whole run.
+func (h *harness) drive(logBuf, spanBuf, jbuf *bytes.Buffer, domain grid.Box, addrs []string, rec *journal.Recovered, crashAt int) (core.Result, error) {
+	s := h.s
+	amrCfg := amr.Config{Domain: domain, MaxLevel: 1, NRanks: 8}
+	var sim solver.Simulation
+	if s.App == "polytropic-gas" {
+		sim = solver.NewPolytropicGas(solver.GasConfig{AMR: amrCfg})
+	} else {
+		sim = solver.NewAdvectionDiffusion(solver.AdvDiffConfig{AMR: amrCfg})
+	}
+
+	// Every phase gets a fresh emitter, tracer, tally, and registry — a
+	// resumed driver is a new process whose counters start at zero; the
+	// sinks append to the shared in-memory logs. The span-tree invariant
+	// reconstructs the causal tree from the span log and cross-checks it
+	// against the event tallies, and Verify byte-compares both logs across
+	// replays.
+	tally := &tallySink{inner: obs.NewJSONLSink(logBuf)}
+	tally.onUp = func(ep int) {
+		if ep >= 0 && ep < len(h.dataDead) {
+			h.dataDead[ep] = false
+		}
+	}
+	em := obs.NewEmitter(tally)
+	reg := obs.NewRegistry()
+	tracer := span.NewTracer(span.NewJSONLSink(spanBuf), traceSeedOf(s))
+	h.tally = tally
+	h.tallies = append(h.tallies, tally)
+	h.reg = reg
+
 	pool, err := staging.NewPool(addrs, domain, staging.PoolOptions{
 		Replicas:    s.Replicas,
 		Concurrency: s.Concurrency,
@@ -225,10 +328,29 @@ func Run(s Schedule) (*RunResult, error) {
 		Metrics: reg,
 	})
 	if err != nil {
-		return fail(err)
+		return core.Result{}, err
 	}
-	closers = append(closers, pool)
 	h.pool = pool
+
+	// The write-ahead journal rides every run, crash or not, so the
+	// checkpoint_write events are a uniform part of the deterministic
+	// stream the replay and resume comparisons hold against.
+	jw := journal.NewWriter(jbuf)
+	if rec == nil {
+		if err := jw.WriteHeader(journal.Header{Fingerprint: traceSeedOf(s), TraceSeed: traceSeedOf(s)}); err != nil {
+			pool.Close()
+			return core.Result{}, fmt.Errorf("chaos: journal: %w", err)
+		}
+	}
+	jw.SetBarrierFlush(func() (int64, int64, error) {
+		if err := em.Flush(); err != nil {
+			return 0, 0, err
+		}
+		if err := tracer.Flush(); err != nil {
+			return 0, 0, err
+		}
+		return int64(logBuf.Len()), int64(spanBuf.Len()), nil
+	})
 
 	cfg := core.Config{
 		Machine:                sysmodel.Intrepid(),
@@ -244,6 +366,7 @@ func Run(s Schedule) (*RunResult, error) {
 		Obs:                    em,
 		Trace:                  tracer,
 		Metrics:                reg,
+		Journal:                jw,
 	}
 	for _, m := range s.Adapt {
 		switch m {
@@ -259,48 +382,52 @@ func Run(s Schedule) (*RunResult, error) {
 		cfg.Hints.Mode = policy.AppRangeBased
 		cfg.Hints.FactorPhases = []policy.FactorPhase{{FromStep: 0, Factors: s.Factors}}
 	}
-	for _, m := range policy.Plan(cfg.Objective) {
-		h.planHas[m] = true
-	}
-	h.effCooldown = effectiveCooldown(s.Cooldown)
 
-	wf, err := core.NewWorkflow(cfg, sim)
+	var wf *core.Workflow
+	if rec != nil {
+		wf, err = core.ResumeWorkflow(cfg, sim, rec, core.ResumeOptions{})
+	} else {
+		wf, err = core.NewWorkflow(cfg, sim)
+	}
 	if err != nil {
-		return fail(err)
+		pool.Close()
+		return core.Result{}, err
 	}
 	// Close order (last-attached first): pool drains its buffered events
-	// and spans, servers shut down, then the tracer and the emitter flush
-	// their JSONL logs last.
+	// and spans, then the tracer and the emitter flush their JSONL logs.
 	wf.AddCloser(em)
 	wf.AddCloser(tracer)
-	for _, c := range closers {
-		wf.AddCloser(c)
-	}
+	wf.AddCloser(pool)
 	h.wf = wf
-
-	res := wf.Run(s.Steps)
-
-	// Final audit: per-step audits run before that step's faults apply, so
-	// a fault scheduled at the last step (a wipe, in particular) is only
-	// visible here.
-	h.checkDurability(s.Steps - 1)
-	durabilityChecked := h.durabilityArmed()
-
-	if err := wf.Close(); err != nil {
-		return nil, fmt.Errorf("chaos: close: %w", err)
+	if rec != nil {
+		h.resumeBase = wf.NextStep()
+		// The resume re-armed the pool's content manifest and audited it;
+		// while the audit is armed the crash window must not have lost a
+		// single journaled block.
+		if missing := wf.ResumeAuditMissing(); missing > 0 && h.durabilityArmed() && !h.durabilityHit {
+			h.durabilityHit = true
+			h.violate(InvDurability, h.resumeBase-1,
+				"resume audit: %d journaled blocks missing from every replica after the crash", missing)
+		}
 	}
-	h.checkEndOfRun(res)
-	h.checkSpanTree(spanBuf.Bytes())
 
-	return &RunResult{
-		Schedule:          s,
-		Violations:        h.violations,
-		EventLog:          append([]byte(nil), logBuf.Bytes()...),
-		SpanLog:           append([]byte(nil), spanBuf.Bytes()...),
-		Steps:             res.Steps,
-		DegradedSteps:     countDegraded(res.Steps),
-		DurabilityChecked: durabilityChecked,
-	}, nil
+	if crashAt >= 0 {
+		for wf.NextStep() <= crashAt {
+			wf.Step()
+		}
+		if err := wf.JournalErr(); err != nil {
+			return core.Result{}, fmt.Errorf("chaos: journal: %w", err)
+		}
+		// The driver is now "killed": the pool client's sockets die with
+		// it, everything else is deliberately leaked unflushed.
+		pool.Close()
+		return core.Result{}, nil
+	}
+	res := wf.Run(s.Steps - wf.NextStep())
+	if err := wf.JournalErr(); err != nil {
+		return core.Result{}, fmt.Errorf("chaos: journal: %w", err)
+	}
+	return res, nil
 }
 
 func objectiveOf(name string) policy.Objective {

@@ -48,6 +48,16 @@ type Wipe struct {
 	At     int `json:"at"`
 }
 
+// Crash kills the workflow driver after step At completes: the workflow,
+// its emitter, and its tracer are abandoned with their buffers unflushed —
+// exactly what SIGKILL leaves behind — while the staging servers (separate
+// processes in the deployment shape) keep running. A fresh driver then
+// resumes from the write-ahead journal and finishes the run. At must leave
+// at least one step to execute after the resume.
+type Crash struct {
+	At int `json:"at"`
+}
+
 // NetFault is the faultnet plan applied to every staging server's listener:
 // deterministic per-connection latency, byte budgets, and seeded
 // probabilistic corruption, exactly as `xlayer run -fault` wires it.
@@ -111,6 +121,9 @@ type Schedule struct {
 	Kills []Kill    `json:"kills,omitempty"`
 	Net   *NetFault `json:"net,omitempty"`
 	Wipe  *Wipe     `json:"wipe,omitempty"`
+
+	// Crash kills and resumes the workflow driver mid-run (see Crash).
+	Crash *Crash `json:"crash,omitempty"`
 }
 
 // FaultCount is the shrinker's size metric: every discrete fault source in
@@ -124,6 +137,9 @@ func (s Schedule) FaultCount() int {
 		n++
 	}
 	if s.Wipe != nil {
+		n++
+	}
+	if s.Crash != nil {
 		n++
 	}
 	return n
@@ -140,7 +156,18 @@ func (s Schedule) DeterministicByContract() bool {
 	if s.Concurrency <= 1 {
 		return true
 	}
-	return len(s.Kills) == 0 && !s.Net.errorProducing() && s.SqueezeBytes == 0 && s.Wipe == nil
+	return len(s.Kills) == 0 && !s.Net.errorProducing() && s.SqueezeBytes == 0 &&
+		s.Wipe == nil && s.Crash == nil
+}
+
+// ResumeComparable reports whether a crash schedule's combined post-resume
+// logs are contractually byte-identical to an uninterrupted twin run's: the
+// deterministic pool path, and no fault whose effect lives in process-local
+// state the journal does not carry (a kill's open circuit breakers die with
+// the driver, so the resumed pool legitimately re-detects the endpoint).
+func (s Schedule) ResumeComparable() bool {
+	return s.Crash != nil && s.Concurrency <= 1 &&
+		len(s.Kills) == 0 && s.Wipe == nil && !s.Net.errorProducing()
 }
 
 // Validate rejects schedules the harness cannot set up.
@@ -174,6 +201,12 @@ func (s Schedule) Validate() error {
 		}
 		if w.At < 0 || w.At >= s.Steps {
 			return fmt.Errorf("chaos: wipe at step %d outside run of %d steps", w.At, s.Steps)
+		}
+	}
+	if c := s.Crash; c != nil {
+		if c.At < 0 || c.At > s.Steps-2 {
+			return fmt.Errorf("chaos: crash at step %d needs 0..%d (a step must remain after the resume)",
+				c.At, s.Steps-2)
 		}
 	}
 	switch s.App {
@@ -275,6 +308,11 @@ func Generate(seed int64) Schedule {
 	// not fit and must degrade.
 	if rng.Intn(6) == 0 {
 		s.SqueezeBytes = int64(8<<10) + rng.Int63n(56<<10)
+	}
+	// Driver crash: kill the workflow at a step barrier and resume it from
+	// the journal, leaving at least one step for the resumed run.
+	if rng.Intn(4) == 0 {
+		s.Crash = &Crash{At: rng.Intn(s.Steps - 1)}
 	}
 	return s
 }

@@ -83,6 +83,11 @@ func candidates(s Schedule) []Schedule {
 		c.Wipe = nil
 		add(c)
 	}
+	if s.Crash != nil {
+		c := s
+		c.Crash = nil
+		add(c)
+	}
 	if s.SqueezeBytes > 0 {
 		c := s
 		c.SqueezeBytes = 0
@@ -163,6 +168,9 @@ func lastFaultStep(s Schedule) int {
 	}
 	if s.Wipe != nil && s.Wipe.At > last {
 		last = s.Wipe.At
+	}
+	if s.Crash != nil && s.Crash.At > last {
+		last = s.Crash.At
 	}
 	return last
 }

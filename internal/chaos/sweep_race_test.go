@@ -23,3 +23,31 @@ func TestChaosShortSweepRace(t *testing.T) {
 			f.Schedule.Seed, f.Violations[0], f.Shrunk)
 	}
 }
+
+// TestResumeSoakEveryStepRace crash-kills a 3-server / 2-replica run at
+// every step barrier in turn and resumes each from its journal, under the
+// race detector. Each resume re-arms the pool's content manifest over the
+// surviving servers and byte-compares the combined logs against an
+// uninterrupted twin, so the soak covers the full checkpoint/recover/
+// resume path for every possible kill point.
+func TestResumeSoakEveryStepRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resume soak skipped in short mode")
+	}
+	const steps = 6
+	for at := 0; at <= steps-2; at++ {
+		s := Schedule{
+			Seed: 500, Steps: steps, Servers: 3, Replicas: 2, Concurrency: 1,
+			App: "polytropic-gas", Objective: "util",
+			Adapt: []string{"application", "middleware", "resource"}, Factors: []int{2, 4},
+			Crash: &Crash{At: at},
+		}
+		rr, err := Verify(s)
+		if err != nil {
+			t.Fatalf("crash at %d: verify: %v", at, err)
+		}
+		for _, v := range rr.Violations {
+			t.Errorf("crash at %d: %v", at, v)
+		}
+	}
+}

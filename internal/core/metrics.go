@@ -31,6 +31,11 @@ type coreMetrics struct {
 	stagingMemUsed *obs.Gauge
 	stagingMemCap  *obs.Gauge
 	stagingHealthy *obs.Gauge
+
+	journalCheckpoints *obs.Counter
+	journalBytes       *obs.Counter
+	journalResumes     *obs.Counter
+	journalLastStep    *obs.Gauge
 }
 
 func newCoreMetrics(reg *obs.Registry) *coreMetrics {
@@ -77,5 +82,14 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 			"Effective staging memory capacity (scaled to healthy endpoints)."),
 		stagingHealthy: reg.Gauge("xlayer_staging_healthy_endpoints",
 			"Staging-pool endpoints currently in rotation."),
+
+		journalCheckpoints: reg.Counter("xlayer_journal_checkpoints_total",
+			"Write-ahead journal checkpoints written at step barriers."),
+		journalBytes: reg.Counter("xlayer_journal_bytes_total",
+			"Bytes appended to the write-ahead journal, framing included."),
+		journalResumes: reg.Counter("xlayer_journal_resumes_total",
+			"Workflow resumes performed from a recovered journal."),
+		journalLastStep: reg.Gauge("xlayer_journal_last_step",
+			"Step index of the most recent journal checkpoint."),
 	}
 }

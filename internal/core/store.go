@@ -82,6 +82,26 @@ func endpointHealthOf(store StagingStore) (healthy, total int) {
 	return 0, 0
 }
 
+// manifester is the optional durability face of a StagingStore: a
+// replicated staging pool snapshots its content manifest (journaled at
+// every step barrier), re-arms it on resume, and audits the survivors
+// against it. Stores without one (the in-process space, a single client)
+// checkpoint an empty manifest and skip the resume audit.
+type manifester interface {
+	Manifest() staging.Manifest
+	RestoreManifest(staging.Manifest)
+	Audit(m staging.Manifest) (missing int)
+}
+
+// manifestOf snapshots the store's content manifest; ok is false when the
+// store does not track one.
+func manifestOf(store StagingStore) (staging.Manifest, bool) {
+	if m, ok := store.(manifester); ok {
+		return m.Manifest(), true
+	}
+	return staging.Manifest{}, false
+}
+
 // spanScoped is the optional tracing face of a StagingStore: a staging pool
 // parents its per-op spans under the phase span the workflow installs and
 // stamps the trace context onto the wire for traced servers.

@@ -9,6 +9,7 @@ import (
 	"crosslayer/internal/amr"
 	"crosslayer/internal/analysis"
 	"crosslayer/internal/field"
+	"crosslayer/internal/journal"
 	"crosslayer/internal/monitor"
 	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
@@ -130,6 +131,13 @@ type Config struct {
 	// counters, sim/analysis/transfer-seconds histograms, placement and
 	// adaptation counters, and staging-pool gauges.
 	Metrics *obs.Registry
+
+	// Journal, when set, receives one write-ahead checkpoint per step
+	// barrier — the crash-consistency contract: after Step(k) returns, a
+	// killed driver can resume from step k+1 (see ResumeWorkflow). The
+	// checkpoint is written at the same quiescent point where buffered
+	// events and spans drain, so its cursors and log offsets are exact.
+	Journal CheckpointSink
 }
 
 func (c *Config) withDefaults() Config {
@@ -204,12 +212,28 @@ type Workflow struct {
 	lastPlacement  policy.Placement
 	placementKnown bool
 
+	journal    CheckpointSink
+	journalErr error  // sticky: first failed checkpoint write
+	runSpanSeq uint64 // op-seq of the run root span, journaled for re-adoption
+
+	// resumeAuditMissing is the post-resume durability audit's shortfall
+	// (blocks the journaled manifest promises that no replica still holds).
+	resumeAuditMissing int
+
 	step   int
 	result Result
 }
 
 // NewWorkflow validates cfg and builds the runtime around sim.
 func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
+	return buildWorkflow(cfg, sim, nil, ResumeOptions{})
+}
+
+// buildWorkflow is the shared constructor behind NewWorkflow and
+// ResumeWorkflow: a non-nil rec switches the observability bring-up from
+// "open a fresh run" (run_started banner, new run root span) to "rejoin the
+// journaled one" (continue cursors, re-adopt the open root span).
+func buildWorkflow(cfg Config, sim solver.Simulation, rec *journal.Recovered, opts ResumeOptions) (*Workflow, error) {
 	c := cfg.withDefaults()
 	if sim == nil {
 		return nil, fmt.Errorf("core: nil simulation")
@@ -241,16 +265,13 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 	}
 	w.events = c.Obs
 	w.met = newCoreMetrics(c.Metrics)
+	w.journal = c.Journal
 	if w.events != nil {
 		// Event timestamps are the workflow's model time: the later of the
 		// two timelines' frontiers. Deterministic across seeded runs.
 		w.events.SetVirtualClock(func() float64 {
 			return math.Max(w.simTL.FreeAt(), w.pool.FreeAt())
 		})
-		w.events.RunStarted(fmt.Sprintf(
-			"objective=%s sim_cores=%d staging_cores=%d app=%t mw=%t res=%t",
-			c.Objective, c.SimCores, c.StagingCores,
-			c.Enable.Application, c.Enable.Middleware, c.Enable.Resource))
 	}
 	w.tracer = c.Trace
 	if w.tracer != nil {
@@ -261,7 +282,20 @@ func NewWorkflow(cfg Config, sim solver.Simulation) (*Workflow, error) {
 		w.tracer.SetVirtualClock(func() float64 {
 			return math.Max(w.simTL.FreeAt(), w.pool.FreeAt())
 		})
+	}
+	if rec != nil {
+		if err := w.resume(rec, opts); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	w.events.RunStarted(fmt.Sprintf(
+		"objective=%s sim_cores=%d staging_cores=%d app=%t mw=%t res=%t",
+		c.Objective, c.SimCores, c.StagingCores,
+		c.Enable.Application, c.Enable.Middleware, c.Enable.Resource))
+	if w.tracer != nil {
 		w.runCtx = w.tracer.Begin(span.Ctx{}, "run", span.LayerRun, span.StepUnset)
+		w.runSpanSeq = w.tracer.Seq()
 		w.tracer.SetAmbient(w.runCtx)
 		setSpanScopeOf(w.store, w.runCtx)
 	}
@@ -540,6 +574,10 @@ func (w *Workflow) Step() StepRecord {
 	if w.cfg.AfterStep != nil {
 		w.cfg.AfterStep(rec.Step)
 	}
+	// The checkpoint is the last act of the step, after AfterStep: fault
+	// hooks and probe traffic emit inside the captured cursors, so a crash
+	// anywhere after Step returns is resumable at exactly this barrier.
+	w.writeCheckpoint(rec)
 	return rec
 }
 

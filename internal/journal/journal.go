@@ -1,0 +1,741 @@
+// Package journal implements the workflow's crash-consistency layer: a
+// write-ahead run journal the engine appends one checkpoint record to at
+// every step barrier — the same quiescent point where buffered events and
+// spans drain — so a killed driver can resume from step k+1 instead of
+// restarting the campaign from step 0.
+//
+// The journal is the paper's cross-layer state externalized: the
+// application layer's reduction factor, the middleware layer's placement
+// and failure cooldown, the resource layer's pool allocation, the virtual
+// model clocks, the monitor's EWMA state, the observability sequence
+// cursors, and a snapshot of the staging pool's content manifest. What is
+// NOT journaled is recomputed on resume: the simulation state itself is a
+// pure function of the step count, so resume silently re-runs the solver
+// to the checkpointed step (see DESIGN.md §13 for the full contract).
+//
+// Wire format (all integers big-endian, like the pool manifest codec):
+//
+//	file    := header record, checkpoint record*
+//	record  := recLen uint32 | body | crc uint32
+//	body    := recType uint8 | payload
+//
+// recLen counts the body bytes; crc is CRC-32C (Castagnoli) over the body.
+// Fields inside each payload are strictly ordered, lengths are bounded
+// before any allocation, and every valid value has exactly one encoding —
+// Encode∘Decode and Decode∘Encode are both identities, which is what
+// FuzzJournal checks.
+//
+// Recovery is torn-tail tolerant: a crash can leave a partial record at
+// the end of the file, so Scan stops at the first short or checksum-bad
+// record and reports the valid prefix length (Recovered.Good). Everything
+// before that point is trusted; everything after it is discarded by
+// truncating to Good before the resumed run appends.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Typed failures for the resume preconditions. Callers match with
+// errors.Is; the spec layer re-exports them for its validation tables.
+var (
+	// ErrBadJournal tags every structural decode failure: a record that is
+	// complete (its checksum verifies) but whose payload is not a valid
+	// journal record. Unlike a torn tail, this is not survivable — the file
+	// was written by something else or by an incompatible version.
+	ErrBadJournal = errors.New("journal: bad journal")
+
+	// ErrJournalSpecMismatch: the journal was written under a different
+	// run specification (seed, workload shape, topology). Resuming it
+	// would splice two different runs together, so it fails closed.
+	ErrJournalSpecMismatch = errors.New("journal: spec fingerprint mismatch")
+
+	// ErrJournalTornBeyondBarrier: the journal holds no complete
+	// checkpoint — the driver died before the first step barrier, or the
+	// torn tail swallowed the only record. There is nothing to resume
+	// from; the run must restart from step 0.
+	ErrJournalTornBeyondBarrier = errors.New("journal: no complete checkpoint before torn tail")
+
+	// ErrResumeRequiresJournal: a resume was requested without naming the
+	// journal file to resume from.
+	ErrResumeRequiresJournal = errors.New("journal: resume requires a journal file")
+)
+
+const (
+	headerMagic   = 0x584c4a31 // "XLJ1"
+	codecVersion  = 1
+	recHeader     = 1
+	recCheckpoint = 2
+
+	maxString   = 4096     // header fingerprint / trace seed
+	maxReason   = 256      // placement reason in a step snapshot
+	maxManifest = 16 << 20 // embedded pool manifest snapshot
+	maxRecord   = 32 << 20 // whole record body
+	maxSmallInt = 1 << 30  // fields carried as uint32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header identifies the run a journal belongs to. Fingerprint is the
+// canonical encoding of every run-shaping parameter (resuming under a
+// different fingerprint fails closed with ErrJournalSpecMismatch);
+// TraceSeed is the deterministic trace identity the run's tracer was
+// seeded with, kept so a resumed run rejoins the same causal trace.
+type Header struct {
+	Fingerprint string
+	TraceSeed   string
+}
+
+// StepSnapshot is the journal's copy of one core.StepRecord, field for
+// field. The journal package sits below internal/core (core imports it),
+// so the record is mirrored here rather than imported; internal/core
+// converts in both directions. Placement is 0 for in-situ, 1 for
+// in-transit.
+type StepSnapshot struct {
+	Step              int
+	Factor            int
+	ReduceSeconds     float64
+	Entropy           float64
+	BytesProduced     int64
+	BytesAnalyzed     int64
+	BytesMoved        int64
+	Placement         uint8
+	PlacementReason   string
+	HybridFrac        float64
+	SimSeconds        float64
+	AnalysisSeconds   float64
+	TransferSeconds   float64
+	StagingCores      int
+	StagingRetries    int
+	StagingReconnects int
+	PeakMemBytes      int64
+	MinMemAvail       int64
+	MaxRankDataBytes  int64
+	StagingMemUsed    int64
+	Triangles         int
+	SimClock          float64
+	StagingClock      float64
+	FinestLevel       int
+}
+
+// Checkpoint is one step barrier's worth of resumable state: everything
+// the engine cannot recompute by replaying the pure simulation. A resumed
+// run restores these fields verbatim and continues from Step+1.
+type Checkpoint struct {
+	Step int
+
+	// Observability sequence cursors, captured after the barrier's own
+	// checkpoint_write event: the resumed emitter and tracer continue the
+	// numbering so the combined log is indistinguishable from an
+	// uninterrupted run. RunSpanSeq is the allocation cursor of the
+	// still-open run root span, which the resumed tracer re-adopts.
+	EventSeq   uint64
+	SpanSeq    uint64
+	RunSpanSeq uint64
+
+	// Virtual model clocks (Eqs. 4-6): the simulation and staging
+	// timelines' busy horizons and accumulated busy time.
+	SimBusyUntil  float64
+	SimBusyTotal  float64
+	PoolBusyUntil float64
+	PoolBusyTotal float64
+
+	// Resource layer: the staging pool model's allocation and its
+	// core-seconds accounting (utilization denominator).
+	PoolCores            int
+	PoolCoreSecondsBusy  float64
+	PoolCoreSecondsTotal float64
+
+	// Middleware layer: staging occupancy, the failure cooldown horizon
+	// (first step allowed to retry staging), and the last placement
+	// executed (0 unknown, 1 in-situ, 2 in-transit) for the
+	// placement_change edge detector.
+	StagingMemUsed   int64
+	StagingDownUntil int
+	LastPlacement    uint8
+
+	// Monitor EWMA state; the sample window itself is recomputed, the
+	// smoothed estimates are not.
+	MonitorHaveEWMA bool
+	MonitorSimEWMA  float64
+	MonitorDataEWMA float64
+
+	// Run accumulators.
+	SimSecondsTotal float64
+	BytesMovedTotal int64
+	InSituSteps     int
+	InTransitSteps  int
+
+	// RNGCursor is reserved (always 0 today): no engine-side RNG exists —
+	// the solver, monitor, and policies are pure, and the only seeded
+	// randomness lives in the fault-injection layers outside the engine.
+	// The field keeps the codec stable if one is ever introduced.
+	RNGCursor uint64
+
+	// Byte offsets of the event and span JSONL logs at this barrier,
+	// after their sinks flushed (-1 when untracked). Resume truncates the
+	// logs here, amputating anything a dying driver half-wrote.
+	EventsOffset int64
+	SpansOffset  int64
+
+	// Record is the step's own trace record: checkpoints carry the full
+	// per-step record so a resumed run rebuilds the complete trace
+	// (Result.Steps) from the journal alone.
+	Record StepSnapshot
+
+	// Manifest is the staging pool's content manifest at the barrier
+	// (staging.EncodeManifest bytes, opaque to this package; empty when
+	// the store has no manifest). Resume re-arms the pool's live map from
+	// it and audits the survivors against it.
+	Manifest []byte
+}
+
+func finite(vs ...float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite float", ErrBadJournal)
+		}
+	}
+	return nil
+}
+
+func smallInt(name string, vs ...int) error {
+	for _, v := range vs {
+		if v < 0 || v > maxSmallInt {
+			return fmt.Errorf("%w: %s %d out of range", ErrBadJournal, name, v)
+		}
+	}
+	return nil
+}
+
+// validate bounds every field that the wire format narrows, so encoding
+// and decoding agree on exactly the same value space.
+func (cp *Checkpoint) validate() error {
+	r := &cp.Record
+	if err := smallInt("step", cp.Step, r.Step); err != nil {
+		return err
+	}
+	if r.Step != cp.Step {
+		return fmt.Errorf("%w: checkpoint step %d carries record for step %d", ErrBadJournal, cp.Step, r.Step)
+	}
+	if err := smallInt("count", cp.PoolCores, cp.StagingDownUntil, cp.InSituSteps, cp.InTransitSteps,
+		r.Factor, r.StagingCores, r.StagingRetries, r.StagingReconnects, r.Triangles, r.FinestLevel); err != nil {
+		return err
+	}
+	if cp.LastPlacement > 2 {
+		return fmt.Errorf("%w: last placement %d", ErrBadJournal, cp.LastPlacement)
+	}
+	if r.Placement > 1 {
+		return fmt.Errorf("%w: record placement %d", ErrBadJournal, r.Placement)
+	}
+	if len(r.PlacementReason) > maxReason {
+		return fmt.Errorf("%w: placement reason %d bytes (max %d)", ErrBadJournal, len(r.PlacementReason), maxReason)
+	}
+	if cp.EventsOffset < -1 || cp.SpansOffset < -1 {
+		return fmt.Errorf("%w: negative log offset", ErrBadJournal)
+	}
+	if len(cp.Manifest) > maxManifest {
+		return fmt.Errorf("%w: manifest %d bytes (max %d)", ErrBadJournal, len(cp.Manifest), maxManifest)
+	}
+	return finite(
+		cp.SimBusyUntil, cp.SimBusyTotal, cp.PoolBusyUntil, cp.PoolBusyTotal,
+		cp.PoolCoreSecondsBusy, cp.PoolCoreSecondsTotal,
+		cp.MonitorSimEWMA, cp.MonitorDataEWMA, cp.SimSecondsTotal,
+		r.ReduceSeconds, r.Entropy, r.HybridFrac,
+		r.SimSeconds, r.AnalysisSeconds, r.TransferSeconds,
+		r.SimClock, r.StagingClock)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func encodeHeader(h Header) ([]byte, error) {
+	if len(h.Fingerprint) > maxString || len(h.TraceSeed) > maxString {
+		return nil, fmt.Errorf("%w: header string too long", ErrBadJournal)
+	}
+	b := []byte{recHeader}
+	b = binary.BigEndian.AppendUint32(b, headerMagic)
+	b = binary.BigEndian.AppendUint16(b, codecVersion)
+	b = appendStr(b, h.Fingerprint)
+	b = appendStr(b, h.TraceSeed)
+	return b, nil
+}
+
+func encodeCheckpoint(cp Checkpoint) ([]byte, error) {
+	if err := cp.validate(); err != nil {
+		return nil, err
+	}
+	b := []byte{recCheckpoint}
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.Step))
+	b = binary.BigEndian.AppendUint64(b, cp.EventSeq)
+	b = binary.BigEndian.AppendUint64(b, cp.SpanSeq)
+	b = binary.BigEndian.AppendUint64(b, cp.RunSpanSeq)
+	b = appendF64(b, cp.SimBusyUntil)
+	b = appendF64(b, cp.SimBusyTotal)
+	b = appendF64(b, cp.PoolBusyUntil)
+	b = appendF64(b, cp.PoolBusyTotal)
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.PoolCores))
+	b = appendF64(b, cp.PoolCoreSecondsBusy)
+	b = appendF64(b, cp.PoolCoreSecondsTotal)
+	b = binary.BigEndian.AppendUint64(b, uint64(cp.StagingMemUsed))
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.StagingDownUntil))
+	b = append(b, cp.LastPlacement)
+	b = appendBool(b, cp.MonitorHaveEWMA)
+	b = appendF64(b, cp.MonitorSimEWMA)
+	b = appendF64(b, cp.MonitorDataEWMA)
+	b = appendF64(b, cp.SimSecondsTotal)
+	b = binary.BigEndian.AppendUint64(b, uint64(cp.BytesMovedTotal))
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.InSituSteps))
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.InTransitSteps))
+	b = binary.BigEndian.AppendUint64(b, cp.RNGCursor)
+	b = binary.BigEndian.AppendUint64(b, uint64(cp.EventsOffset))
+	b = binary.BigEndian.AppendUint64(b, uint64(cp.SpansOffset))
+
+	r := &cp.Record
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Step))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Factor))
+	b = appendF64(b, r.ReduceSeconds)
+	b = appendF64(b, r.Entropy)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.BytesProduced))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.BytesAnalyzed))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.BytesMoved))
+	b = append(b, r.Placement)
+	b = appendStr(b, r.PlacementReason)
+	b = appendF64(b, r.HybridFrac)
+	b = appendF64(b, r.SimSeconds)
+	b = appendF64(b, r.AnalysisSeconds)
+	b = appendF64(b, r.TransferSeconds)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.StagingCores))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.StagingRetries))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.StagingReconnects))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.PeakMemBytes))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.MinMemAvail))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.MaxRankDataBytes))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.StagingMemUsed))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Triangles))
+	b = appendF64(b, r.SimClock)
+	b = appendF64(b, r.StagingClock)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.FinestLevel))
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(cp.Manifest)))
+	b = append(b, cp.Manifest...)
+	return b, nil
+}
+
+// decoder is a strict cursor over one record payload: every read narrows
+// the window, a short read poisons the cursor, and done() rejects
+// leftover bytes so each payload has exactly one valid length.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = fmt.Errorf("%w: short payload", ErrBadJournal)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) smallInt() int {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(b)
+	if v > maxSmallInt {
+		d.err = fmt.Errorf("%w: count %d out of range", ErrBadJournal, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) f64() float64 {
+	v := math.Float64frombits(d.u64())
+	if d.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		d.err = fmt.Errorf("%w: non-finite float", ErrBadJournal)
+	}
+	return v
+}
+
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: bad boolean", ErrBadJournal)
+		}
+		return false
+	}
+}
+
+func (d *decoder) str(max int) string {
+	n := int(d.u16())
+	if d.err == nil && n > max {
+		d.err = fmt.Errorf("%w: string %d bytes (max %d)", ErrBadJournal, n, max)
+		return ""
+	}
+	return string(d.take(n))
+}
+
+func (d *decoder) manifest() []byte {
+	b := d.take(4)
+	if b == nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > maxManifest {
+		d.err = fmt.Errorf("%w: manifest %d bytes (max %d)", ErrBadJournal, n, maxManifest)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := d.take(int(n))
+	if out == nil {
+		return nil
+	}
+	return append([]byte(nil), out...)
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadJournal, len(d.b))
+	}
+	return nil
+}
+
+func decodeHeader(payload []byte) (Header, error) {
+	d := &decoder{b: payload}
+	if magic := d.take(4); magic != nil && binary.BigEndian.Uint32(magic) != headerMagic {
+		return Header{}, fmt.Errorf("%w: bad magic", ErrBadJournal)
+	}
+	if v := d.u16(); d.err == nil && v != codecVersion {
+		return Header{}, fmt.Errorf("%w: codec version %d (have %d)", ErrBadJournal, v, codecVersion)
+	}
+	h := Header{
+		Fingerprint: d.str(maxString),
+		TraceSeed:   d.str(maxString),
+	}
+	if err := d.done(); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
+func decodeCheckpoint(payload []byte) (Checkpoint, error) {
+	d := &decoder{b: payload}
+	var cp Checkpoint
+	cp.Step = d.smallInt()
+	cp.EventSeq = d.u64()
+	cp.SpanSeq = d.u64()
+	cp.RunSpanSeq = d.u64()
+	cp.SimBusyUntil = d.f64()
+	cp.SimBusyTotal = d.f64()
+	cp.PoolBusyUntil = d.f64()
+	cp.PoolBusyTotal = d.f64()
+	cp.PoolCores = d.smallInt()
+	cp.PoolCoreSecondsBusy = d.f64()
+	cp.PoolCoreSecondsTotal = d.f64()
+	cp.StagingMemUsed = d.i64()
+	cp.StagingDownUntil = d.smallInt()
+	cp.LastPlacement = d.u8()
+	cp.MonitorHaveEWMA = d.bool()
+	cp.MonitorSimEWMA = d.f64()
+	cp.MonitorDataEWMA = d.f64()
+	cp.SimSecondsTotal = d.f64()
+	cp.BytesMovedTotal = d.i64()
+	cp.InSituSteps = d.smallInt()
+	cp.InTransitSteps = d.smallInt()
+	cp.RNGCursor = d.u64()
+	cp.EventsOffset = d.i64()
+	cp.SpansOffset = d.i64()
+
+	r := &cp.Record
+	r.Step = d.smallInt()
+	r.Factor = d.smallInt()
+	r.ReduceSeconds = d.f64()
+	r.Entropy = d.f64()
+	r.BytesProduced = d.i64()
+	r.BytesAnalyzed = d.i64()
+	r.BytesMoved = d.i64()
+	r.Placement = d.u8()
+	r.PlacementReason = d.str(maxReason)
+	r.HybridFrac = d.f64()
+	r.SimSeconds = d.f64()
+	r.AnalysisSeconds = d.f64()
+	r.TransferSeconds = d.f64()
+	r.StagingCores = d.smallInt()
+	r.StagingRetries = d.smallInt()
+	r.StagingReconnects = d.smallInt()
+	r.PeakMemBytes = d.i64()
+	r.MinMemAvail = d.i64()
+	r.MaxRankDataBytes = d.i64()
+	r.StagingMemUsed = d.i64()
+	r.Triangles = d.smallInt()
+	r.SimClock = d.f64()
+	r.StagingClock = d.f64()
+	r.FinestLevel = d.smallInt()
+
+	cp.Manifest = d.manifest()
+	if err := d.done(); err != nil {
+		return Checkpoint{}, err
+	}
+	if err := cp.validate(); err != nil {
+		return Checkpoint{}, err
+	}
+	return cp, nil
+}
+
+// frame wraps one record body with the length prefix and CRC-32C trailer.
+func frame(body []byte) []byte {
+	out := make([]byte, 0, len(body)+8)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+}
+
+// Writer appends journal records to an underlying writer. Errors are
+// sticky: the first failed write poisons the Writer and every later call
+// returns it, so a full disk mid-run surfaces once instead of silently
+// dropping checkpoints.
+type Writer struct {
+	w     io.Writer
+	flush func() (eventsOff, spansOff int64, err error)
+	err   error
+}
+
+// NewWriter wraps w. When w also implements `Sync() error` (an *os.File),
+// every record is synced after the write — the checkpoint must be durable
+// before the step is considered complete.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// SetBarrierFlush installs the pre-checkpoint hook: called before each
+// checkpoint record is written, it must flush the run's event and span
+// sinks and return their file byte offsets (-1 when untracked). The
+// offsets land in the checkpoint, so a resume can truncate the logs to
+// exactly what this barrier had flushed.
+func (jw *Writer) SetBarrierFlush(fn func() (eventsOff, spansOff int64, err error)) {
+	jw.flush = fn
+}
+
+// Err returns the sticky write error, if any.
+func (jw *Writer) Err() error { return jw.err }
+
+func (jw *Writer) write(body []byte) (int, error) {
+	if jw.err != nil {
+		return 0, jw.err
+	}
+	framed := frame(body)
+	if _, err := jw.w.Write(framed); err != nil {
+		jw.err = fmt.Errorf("journal: write: %w", err)
+		return 0, jw.err
+	}
+	if s, ok := jw.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			jw.err = fmt.Errorf("journal: sync: %w", err)
+			return 0, jw.err
+		}
+	}
+	return len(framed), nil
+}
+
+// WriteHeader writes the journal's identity record. It must be the first
+// record of a fresh journal; a resumed journal already has one and must
+// not write another.
+func (jw *Writer) WriteHeader(h Header) error {
+	body, err := encodeHeader(h)
+	if err != nil {
+		jw.err = err
+		return err
+	}
+	_, err = jw.write(body)
+	return err
+}
+
+// WriteCheckpoint appends one barrier checkpoint. When a barrier-flush
+// hook is installed it runs first and its offsets overwrite
+// cp.EventsOffset/cp.SpansOffset. Returns the framed record size.
+func (jw *Writer) WriteCheckpoint(cp Checkpoint) (int, error) {
+	if jw.err != nil {
+		return 0, jw.err
+	}
+	if jw.flush != nil {
+		ev, sp, err := jw.flush()
+		if err != nil {
+			jw.err = fmt.Errorf("journal: barrier flush: %w", err)
+			return 0, jw.err
+		}
+		cp.EventsOffset, cp.SpansOffset = ev, sp
+	}
+	body, err := encodeCheckpoint(cp)
+	if err != nil {
+		jw.err = err
+		return 0, err
+	}
+	return jw.write(body)
+}
+
+// Recovered is the outcome of a recovery scan: the journal's identity,
+// every complete checkpoint in order, and where the valid prefix ends.
+type Recovered struct {
+	Header      Header
+	Checkpoints []Checkpoint
+
+	// Good is the byte length of the valid record prefix. A resume
+	// truncates the journal file to Good before appending, discarding the
+	// torn tail.
+	Good int64
+
+	// Torn reports that bytes beyond Good exist but do not form a
+	// complete, checksum-valid record — the signature of a mid-write kill.
+	Torn bool
+}
+
+// Last returns the most recent checkpoint, or nil when none survived.
+func (r *Recovered) Last() *Checkpoint {
+	if len(r.Checkpoints) == 0 {
+		return nil
+	}
+	return &r.Checkpoints[len(r.Checkpoints)-1]
+}
+
+// nextRecord tries to carve one complete record off the front of b. Any
+// defect — short length prefix, absurd length, short body, checksum
+// mismatch — returns ok=false: from the scanner's point of view the rest
+// of the buffer is a torn tail.
+func nextRecord(b []byte) (body []byte, n int, ok bool) {
+	if len(b) < 4 {
+		return nil, 0, false
+	}
+	rl := binary.BigEndian.Uint32(b)
+	if rl < 1 || rl > maxRecord {
+		return nil, 0, false
+	}
+	total := 4 + int(rl) + 4
+	if len(b) < total {
+		return nil, 0, false
+	}
+	body = b[4 : 4+rl]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(b[4+rl:total]) {
+		return nil, 0, false
+	}
+	return body, total, true
+}
+
+// Scan reads a journal stream, tolerating a torn tail: it stops at the
+// first incomplete or checksum-bad record and reports everything before
+// it. Structural defects inside checksum-valid records — wrong magic,
+// unknown record type, out-of-range fields, non-monotonic steps — are not
+// torn tails and fail with ErrBadJournal.
+func Scan(r io.Reader) (*Recovered, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+	rec := &Recovered{}
+	off := 0
+	sawHeader := false
+	for off < len(data) {
+		body, n, ok := nextRecord(data[off:])
+		if !ok {
+			rec.Torn = true
+			break
+		}
+		typ, payload := body[0], body[1:]
+		switch {
+		case !sawHeader:
+			if typ != recHeader {
+				return nil, fmt.Errorf("%w: first record has type %d (want header)", ErrBadJournal, typ)
+			}
+			h, err := decodeHeader(payload)
+			if err != nil {
+				return nil, err
+			}
+			rec.Header, sawHeader = h, true
+		case typ == recHeader:
+			return nil, fmt.Errorf("%w: duplicate header record", ErrBadJournal)
+		case typ == recCheckpoint:
+			cp, err := decodeCheckpoint(payload)
+			if err != nil {
+				return nil, err
+			}
+			if last := rec.Last(); last != nil && cp.Step <= last.Step {
+				return nil, fmt.Errorf("%w: checkpoint step %d after step %d", ErrBadJournal, cp.Step, last.Step)
+			}
+			rec.Checkpoints = append(rec.Checkpoints, cp)
+		default:
+			return nil, fmt.Errorf("%w: unknown record type %d", ErrBadJournal, typ)
+		}
+		off += n
+	}
+	rec.Good = int64(off)
+	return rec, nil
+}
+
+// Recover scans the journal file at path.
+func Recover(path string) (*Recovered, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return Scan(f)
+}

@@ -81,6 +81,10 @@ func (s *Sample) MaxMemUsed() int64 {
 type Monitor struct {
 	samples []Sample
 
+	// base is the number of pre-restart samples a resumed run dropped:
+	// logical index i lives at samples[i-base]. Zero for a fresh run.
+	base int
+
 	// Exponentially weighted moving averages used as predictors.
 	alpha         float64
 	simSecsEWMA   float64
@@ -113,8 +117,33 @@ func (m *Monitor) Record(s Sample) {
 	m.dataBytesEWMA = m.alpha*float64(s.DataBytes) + (1-m.alpha)*m.dataBytesEWMA
 }
 
-// Len returns the number of recorded samples.
-func (m *Monitor) Len() int { return len(m.samples) }
+// Restore primes a fresh Monitor with a resumed run's journaled state:
+// recorded samples so far (whose raw windows are not kept — only the
+// smoothed estimates survive a restart) and the EWMA values. Logical
+// sample indices continue from recorded; At panics for the dropped
+// pre-restart window, exactly like an out-of-range index.
+func (m *Monitor) Restore(recorded int, simSecsEWMA, dataBytesEWMA float64, have bool) {
+	if recorded < 0 {
+		panic(fmt.Sprintf("monitor: negative restore count %d", recorded))
+	}
+	if len(m.samples) > 0 {
+		panic("monitor: restore after samples were recorded")
+	}
+	m.base = recorded
+	m.simSecsEWMA = simSecsEWMA
+	m.dataBytesEWMA = dataBytesEWMA
+	m.haveEWMA = have
+}
+
+// EWMA exposes the smoothed estimates and whether any sample primed them —
+// the state a journal checkpoint captures for Restore.
+func (m *Monitor) EWMA() (simSecs, dataBytes float64, have bool) {
+	return m.simSecsEWMA, m.dataBytesEWMA, m.haveEWMA
+}
+
+// Len returns the number of recorded samples, including a resumed run's
+// dropped pre-restart window.
+func (m *Monitor) Len() int { return m.base + len(m.samples) }
 
 // Last returns the most recent sample; ok is false when none exist.
 func (m *Monitor) Last() (Sample, bool) {
@@ -124,8 +153,9 @@ func (m *Monitor) Last() (Sample, bool) {
 	return m.samples[len(m.samples)-1], true
 }
 
-// At returns sample i.
-func (m *Monitor) At(i int) Sample { return m.samples[i] }
+// At returns sample i (a logical step index; a resumed run only holds
+// samples from its restart point onward).
+func (m *Monitor) At(i int) Sample { return m.samples[i-m.base] }
 
 // PredictSimSeconds estimates the next step's simulation time
 // (T_{i+1}_sim in Eq. 9) from the smoothed history; fallback is returned

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -73,6 +74,14 @@ const (
 	// KindRepair records one anti-entropy repair pass: the blocks
 	// re-replicated onto a rejoining endpoint from surviving peers.
 	KindRepair Kind = "repair"
+	// KindCheckpointWrite marks a write-ahead journal checkpoint taken at a
+	// step barrier (journaled runs only).
+	KindCheckpointWrite Kind = "checkpoint_write"
+	// KindResume marks a run resuming from a journal checkpoint into a
+	// fresh event log. It is deliberately absent when the resumed run
+	// appends to the original log — an in-stream marker would break the
+	// byte-identity the resume determinism contract promises.
+	KindResume Kind = "resume"
 )
 
 // StepUnset marks an event emitted outside any step span; the emitter
@@ -149,6 +158,18 @@ func (s *JSONLSink) Emit(ev Event) {
 		return
 	}
 	s.err = s.enc.Encode(&ev)
+}
+
+// Flush pushes buffered lines down to the underlying writer without
+// closing it — the step-barrier hook of journaled runs, so a driver kill
+// after the barrier never strands events in the buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
 }
 
 // Close flushes the buffer (and closes the underlying writer when it is a
@@ -274,6 +295,57 @@ func (e *Emitter) Close() error {
 	return e.sink.Close()
 }
 
+// Seq returns the emission ordinal of the most recent event — the cursor
+// a journal checkpoint captures so a resumed emitter continues the
+// numbering seamlessly.
+func (e *Emitter) Seq() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// ResumeSeq fast-forwards the emission ordinal to a journaled cursor.
+// Must be called before the resumed run emits anything.
+func (e *Emitter) ResumeSeq(seq uint64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq = seq
+}
+
+// ResumeStep fast-forwards the current-step cursor to the checkpointed
+// step, matching the uninterrupted emitter's state at that barrier. A run
+// killed after its final barrier resumes with zero steps left, so no
+// BeginStep will run before run_finished — without this the closing event
+// would carry StepUnset where the uninterrupted log carries the last step.
+func (e *Emitter) ResumeStep(step int) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.step = step
+}
+
+// Flush pushes buffered events down to the sink's backing writer when the
+// sink supports it (JSONLSink does) — called at step barriers by
+// journaled runs so the checkpoint's log offsets cover everything emitted
+// so far.
+func (e *Emitter) Flush() error {
+	if e == nil {
+		return nil
+	}
+	if f, ok := e.sink.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Emit stamps ev (Seq, T, Wall, and the current step when ev.Step is
 // StepUnset) and forwards it to the sink.
 func (e *Emitter) Emit(ev Event) {
@@ -386,6 +458,30 @@ func (e *Emitter) Repair(endpoint, blocks int, bytes int64) {
 	})
 }
 
+// CheckpointWrite records a write-ahead journal checkpoint taken at a
+// step barrier. It is emitted before the journal record is encoded, so
+// the checkpoint's own event sits inside the flushed prefix that the
+// record's log offsets cover.
+func (e *Emitter) CheckpointWrite(step, manifestEntries int) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindCheckpointWrite, Step: step,
+		Detail: fmt.Sprintf("manifest_entries=%d", manifestEntries),
+	})
+}
+
+// Resumed records a run resuming from a journal checkpoint into a fresh
+// event log (see KindResume for why it never appears mid-stream in a
+// continued log).
+func (e *Emitter) Resumed(step int, detail string) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{Kind: KindResume, Step: step, Detail: detail})
+}
+
 // BeginStep opens a step span: a step_started event is emitted and every
 // span-less event until the next BeginStep carries this step. The returned
 // StepCtx is a value (no allocation) whose methods are nil-safe, so callers
@@ -467,13 +563,27 @@ func (s StepCtx) Finished(placement string, factor int, simSec, anaSec, xferSec 
 	})
 }
 
-// ReadEvents parses a JSONL event stream written by JSONLSink.
+// ReadEvents parses a JSONL event stream written by JSONLSink. A killed
+// writer can leave a half-written, unterminated final line; that torn
+// tail is tolerated (dropped). A malformed but newline-terminated line is
+// corruption and fails the read.
 func ReadEvents(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
 	var out []Event
-	for dec.More() {
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
 		var ev Event
-		if err := dec.Decode(&ev); err != nil {
+		if err := json.Unmarshal(line, &ev); err != nil {
+			if i == len(lines)-1 {
+				break // unterminated torn tail from a killed writer
+			}
 			return nil, fmt.Errorf("obs: event %d: %w", len(out)+1, err)
 		}
 		out = append(out, ev)

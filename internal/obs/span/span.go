@@ -22,6 +22,7 @@ package span
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -108,6 +109,18 @@ func (s *JSONLSink) Emit(sp Span) {
 		return
 	}
 	s.err = s.enc.Encode(&sp)
+}
+
+// Flush pushes buffered lines down to the underlying writer without
+// closing it — the step-barrier hook of journaled runs (mirrors
+// obs.JSONLSink.Flush).
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
 }
 
 // Close flushes the buffer (and closes the underlying writer when it is a
@@ -273,6 +286,55 @@ func (t *Tracer) Close() error {
 		return nil
 	}
 	return t.sink.Close()
+}
+
+// Seq returns the op-seq of the most recently allocated span ID — the
+// cursor a journal checkpoint captures so a resumed tracer derives the
+// same IDs an uninterrupted run would have.
+func (t *Tracer) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// ResumeSeq fast-forwards the op-seq to a journaled cursor. Must be
+// called before the resumed run begins any span.
+func (t *Tracer) ResumeSeq(seq uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq = seq
+}
+
+// Flush pushes buffered spans down to the sink's backing writer when the
+// sink supports it (JSONLSink does) — the step-barrier flush of journaled
+// runs.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if f, ok := t.sink.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Adopt rebuilds the context of a span that was begun by a previous
+// incarnation of this run and is still open — the run root span across a
+// checkpoint/restart. The ID is re-derived from (trace, step, seq)
+// exactly as Begin derived it; nothing is emitted and the op-seq does not
+// advance, so the span ends once, from the resumed process, with the
+// original identity. The parent is the zero (root) context.
+func (t *Tracer) Adopt(name, layer string, step int, seq uint64, start float64) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	return Ctx{t: t, id: deriveID(t.trace, step, seq), step: step, name: name, layer: layer, start: start}
 }
 
 func (t *Tracer) now() float64 {
@@ -506,13 +568,27 @@ func (t *Tracer) Fault(fault, detail string) {
 	amb.Record(Op{Name: "fault:" + fault, Layer: LayerNetworkFault, Detail: detail})
 }
 
-// ReadSpans parses a JSONL span log written by JSONLSink.
+// ReadSpans parses a JSONL span log written by JSONLSink. A half-written,
+// unterminated final line — the torn tail a killed writer leaves — is
+// tolerated and dropped; a malformed terminated line fails the read
+// (mirrors obs.ReadEvents).
 func ReadSpans(r io.Reader) ([]Span, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("span: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
 	var out []Span
-	for dec.More() {
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
 		var s Span
-		if err := dec.Decode(&s); err != nil {
+		if err := json.Unmarshal(line, &s); err != nil {
+			if i == len(lines)-1 {
+				break // unterminated torn tail from a killed writer
+			}
 			return nil, fmt.Errorf("span: span %d: %w", len(out)+1, err)
 		}
 		out = append(out, s)

@@ -22,6 +22,7 @@ import (
 	"crosslayer/internal/core"
 	"crosslayer/internal/faultnet"
 	"crosslayer/internal/grid"
+	"crosslayer/internal/journal"
 	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
@@ -42,6 +43,8 @@ type Workflow struct {
 	Domain [3]int `json:"domain"`
 	// MaxLevel is the finest refinement level (default 1).
 	MaxLevel int `json:"max_level"`
+	// MaxBoxSize caps patch extent in cells per side (0 = solver default).
+	MaxBoxSize int `json:"max_box_size"`
 	// Ranks is the number of virtual ranks the kernels run on (default 8).
 	Ranks int `json:"ranks"`
 	// Periodic selects periodic domain boundaries.
@@ -120,7 +123,22 @@ type Workflow struct {
 	// for the duration of the run.
 	MetricsAddr string `json:"metrics_addr"`
 
+	// Journal, when set, write-ahead journals every step barrier to this
+	// file: adaptation state, virtual clocks, observability cursors, and
+	// the staging pool's content manifest. A run killed at any point can
+	// then be resumed (Resume) from its last completed step instead of
+	// restarting from step 0.
+	Journal string `json:"journal"`
+	// Resume continues a previous run from Journal: the journal's valid
+	// prefix is recovered (a torn tail from the kill is discarded), the
+	// event/span logs are truncated to what the last checkpoint had
+	// flushed, and the workflow restarts at the checkpointed step + 1. The
+	// spec must be identical to the journaled run's — a fingerprint
+	// mismatch fails closed with ErrJournalSpecMismatch.
+	Resume bool `json:"resume"`
+
 	metricsBound string // actual listen address once Build has bound it
+	resumedStep  int    // first step a resumed Build continues from; 0 = fresh
 }
 
 // BandSpec is one entropy band in JSON form.
@@ -156,6 +174,17 @@ var (
 	// ErrConcurrencyRequiresTCP: the concurrent data path overlaps real
 	// transport I/O, which only exists on the TCP staging path.
 	ErrConcurrencyRequiresTCP = errors.New("spec: staging_concurrency > 1 requires staging_tcp")
+)
+
+// Resume failure classes, aliased from the journal package so spec callers
+// match them without importing it.
+var (
+	// ErrResumeRequiresJournal: resume was requested without a journal file.
+	ErrResumeRequiresJournal = journal.ErrResumeRequiresJournal
+	// ErrJournalSpecMismatch: the journal belongs to a different run spec.
+	ErrJournalSpecMismatch = journal.ErrJournalSpecMismatch
+	// ErrJournalTornBeyondBarrier: the journal holds no complete checkpoint.
+	ErrJournalTornBeyondBarrier = journal.ErrJournalTornBeyondBarrier
 )
 
 // KillSpec schedules a deterministic crash of one pool server: after step
@@ -269,6 +298,9 @@ func (w *Workflow) validate() error {
 	if w.Steps < 0 {
 		return fmt.Errorf("spec: negative steps")
 	}
+	if w.MaxBoxSize < 0 {
+		return fmt.Errorf("spec: negative max_box_size")
+	}
 	if w.Fault != nil {
 		if !w.StagingTCP {
 			return fmt.Errorf("spec: fault injection requires staging_tcp")
@@ -293,6 +325,9 @@ func (w *Workflow) validate() error {
 		return fmt.Errorf("%w (%d > %d)", ErrReplicasExceedServers,
 			w.StagingReplicas, max(w.StagingServers, 1))
 	}
+	if w.Resume && w.Journal == "" {
+		return fmt.Errorf("%w (set journal)", ErrResumeRequiresJournal)
+	}
 	if k := w.StagingKill; k != nil {
 		if w.StagingServers < 2 {
 			return fmt.Errorf("%w (got staging_servers=%d)", ErrKillRequiresPool, w.StagingServers)
@@ -316,9 +351,10 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 	amrCfg := amr.Config{
 		Domain: grid.NewBox(grid.IV(0, 0, 0),
 			grid.IV(w.Domain[0]-1, w.Domain[1]-1, w.Domain[2]-1)),
-		MaxLevel: w.MaxLevel,
-		NRanks:   w.Ranks,
-		Periodic: w.Periodic,
+		MaxLevel:   w.MaxLevel,
+		MaxBoxSize: w.MaxBoxSize,
+		NRanks:     w.Ranks,
+		Periodic:   w.Periodic,
 	}
 	if amrCfg.MaxLevel == 0 {
 		amrCfg.MaxLevel = 1
@@ -383,31 +419,61 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 	cfg.StagingFailureCooldown = w.StagingFailureCooldown
 	cfg.StagingConcurrency = w.StagingConcurrency
 
+	// Recover the journal first: a resume needs the last checkpoint's log
+	// offsets before the event/span files are opened, so their torn tails
+	// can be amputated back to exactly what that barrier had flushed.
+	recovered, err := w.recoverJournal()
+	if err != nil {
+		return nil, nil, err
+	}
+
 	var closers []io.Closer
 	var emitter *obs.Emitter
+	var eventsFile, spansFile *os.File
 	if w.Events != "" {
-		f, err := os.Create(w.Events)
+		off := int64(-1)
+		if recovered != nil {
+			off = recovered.Last().EventsOffset
+		}
+		f, err := openLog(w.Events, recovered != nil, off)
 		if err != nil {
 			return nil, nil, fmt.Errorf("spec: events: %w", err)
 		}
+		eventsFile = f
 		emitter = obs.NewEmitter(obs.NewJSONLSink(f))
 		cfg.Obs = emitter
 		closers = append(closers, emitter)
 	}
 	var tracer *span.Tracer
 	if w.Spans != "" {
-		f, err := os.Create(w.Spans)
+		off := int64(-1)
+		if recovered != nil {
+			off = recovered.Last().SpansOffset
+		}
+		f, err := openLog(w.Spans, recovered != nil, off)
 		if err != nil {
 			for _, c := range closers {
 				c.Close()
 			}
 			return nil, nil, fmt.Errorf("spec: spans: %w", err)
 		}
+		spansFile = f
 		// Appended here — before the transports — so the reverse-order Close
 		// drains the staging pool's buffered spans into a still-open sink.
 		tracer = span.NewTracer(span.NewJSONLSink(f), w.traceSeed())
 		cfg.Trace = tracer
 		closers = append(closers, tracer)
+	}
+	if w.Journal != "" {
+		jw, jc, err := w.openJournal(recovered, emitter, tracer, eventsFile, spansFile)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, err
+		}
+		cfg.Journal = jw
+		closers = append(closers, jc)
 	}
 	var reg *obs.Registry
 	if w.MetricsAddr != "" {
@@ -448,7 +514,18 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 		}
 	}
 
-	wf, err := core.NewWorkflow(cfg, sim)
+	var wf *core.Workflow
+	if recovered != nil {
+		// The resumed run appends to the original logs, so no resume event
+		// is announced: the combined stream must stay byte-identical to an
+		// uninterrupted run's.
+		wf, err = core.ResumeWorkflow(cfg, sim, recovered, core.ResumeOptions{})
+		if err == nil {
+			w.resumedStep = wf.NextStep()
+		}
+	} else {
+		wf, err = core.NewWorkflow(cfg, sim)
+	}
 	if err != nil {
 		for _, c := range closers {
 			c.Close()
@@ -460,6 +537,117 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 	}
 	return wf, sim, nil
 }
+
+// recoverJournal scans the journal for a resume, enforcing the resume
+// preconditions: the journal must hold at least one complete checkpoint and
+// must have been written under this exact spec fingerprint. The torn tail a
+// killed driver left is discarded by truncating the file to the valid
+// prefix. A fresh (non-resume) build returns (nil, nil).
+func (w *Workflow) recoverJournal() (*journal.Recovered, error) {
+	if !w.Resume {
+		return nil, nil
+	}
+	rec, err := journal.Recover(w.Journal)
+	if err != nil {
+		return nil, fmt.Errorf("spec: resume %s: %w", w.Journal, err)
+	}
+	if rec.Last() == nil {
+		return nil, fmt.Errorf("spec: resume %s: %w", w.Journal, journal.ErrJournalTornBeyondBarrier)
+	}
+	if fp := w.Fingerprint(); rec.Header.Fingerprint != fp {
+		return nil, fmt.Errorf("spec: resume %s: %w:\n  journal: %s\n  spec:    %s",
+			w.Journal, journal.ErrJournalSpecMismatch, rec.Header.Fingerprint, fp)
+	}
+	if rec.Torn {
+		if err := os.Truncate(w.Journal, rec.Good); err != nil {
+			return nil, fmt.Errorf("spec: resume %s: truncate torn tail: %w", w.Journal, err)
+		}
+	}
+	return rec, nil
+}
+
+// openLog opens an event/span JSONL log for a journaled run. Fresh runs
+// truncate; resumes cut the file back to the journaled barrier offset —
+// amputating whatever a dying driver half-wrote — and append. A resume
+// against a checkpoint that tracked no offset for this log (off < 0, the
+// log was not configured on the original run) starts the file fresh.
+func openLog(path string, resume bool, off int64) (*os.File, error) {
+	if resume && off >= 0 {
+		if err := os.Truncate(path, off); err != nil {
+			return nil, err
+		}
+		return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+}
+
+// openJournal builds the checkpoint sink: a journal.Writer over the journal
+// file (created fresh, or appended after recovery truncated the torn tail)
+// whose barrier-flush hook pushes the event/span sinks to disk and reports
+// their byte offsets for the checkpoint.
+func (w *Workflow) openJournal(rec *journal.Recovered, em *obs.Emitter, tr *span.Tracer, eventsFile, spansFile *os.File) (*journal.Writer, io.Closer, error) {
+	var f *os.File
+	var err error
+	if rec != nil {
+		f, err = os.OpenFile(w.Journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	} else {
+		f, err = os.OpenFile(w.Journal, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("spec: journal: %w", err)
+	}
+	jw := journal.NewWriter(f)
+	if rec == nil {
+		if err := jw.WriteHeader(journal.Header{Fingerprint: w.Fingerprint(), TraceSeed: w.traceSeed()}); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("spec: journal: %w", err)
+		}
+	}
+	jw.SetBarrierFlush(func() (int64, int64, error) {
+		ev, sp := int64(-1), int64(-1)
+		if err := em.Flush(); err != nil {
+			return 0, 0, err
+		}
+		if err := tr.Flush(); err != nil {
+			return 0, 0, err
+		}
+		if eventsFile != nil {
+			st, err := eventsFile.Stat()
+			if err != nil {
+				return 0, 0, err
+			}
+			ev = st.Size()
+		}
+		if spansFile != nil {
+			st, err := spansFile.Stat()
+			if err != nil {
+				return 0, 0, err
+			}
+			sp = st.Size()
+		}
+		return ev, sp, nil
+	})
+	return jw, f, nil
+}
+
+// Fingerprint canonically encodes every run-shaping field of the spec — the
+// identity a journal is bound to. Artifact destinations (events, spans,
+// metrics_addr, journal) and the resume flag are excluded: moving the logs
+// or resuming does not change which run this is.
+func (w *Workflow) Fingerprint() string {
+	shape := *w
+	shape.Events, shape.Spans, shape.MetricsAddr = "", "", ""
+	shape.Journal, shape.Resume = "", false
+	b, err := json.Marshal(&shape)
+	if err != nil {
+		panic(fmt.Sprintf("spec: fingerprint: %v", err)) // struct of plain fields; cannot fail
+	}
+	return string(b)
+}
+
+// ResumedStep returns the step index a resumed Build continued from (the
+// checkpointed step + 1), or 0 for a fresh build.
+func (w *Workflow) ResumedStep() int { return w.resumedStep }
 
 // buildStagingTCP stands up a loopback staging server (optionally behind the
 // spec's fault plan) and dials a resilient client with a tight retry budget,

@@ -65,6 +65,29 @@ func (p *Pool) Manifest() Manifest {
 	return m
 }
 
+// RestoreManifest re-arms the pool's live map from a journaled manifest —
+// the checkpoint/restart path: a resumed pool must know what its previous
+// incarnation stored so rejoin repair and the durability audit keep
+// covering pre-crash data. Entries merge by max block count, so replaying
+// a manifest over state the resumed run already re-recorded never shrinks
+// the audit's expectations. The data itself is not moved: the servers (or
+// their surviving replicas) still hold it, and the existing seq-tagged
+// idempotent puts make any overlapping re-puts harmless.
+func (p *Pool) RestoreManifest(m Manifest) {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	for _, e := range m.Entries {
+		vs := p.live[e.Var]
+		if vs == nil {
+			vs = make(map[int]int)
+			p.live[e.Var] = vs
+		}
+		if e.Blocks > vs[e.Version] {
+			vs[e.Version] = e.Blocks
+		}
+	}
+}
+
 // Wire format of an encoded manifest (all integers big-endian):
 //
 //	magic   uint32  "XLM1"

@@ -41,6 +41,18 @@ func (t *Timeline) Schedule(earliest, duration float64) (start, end float64) {
 	return start, end
 }
 
+// Restore rewinds the timeline to a journaled horizon — the workflow's
+// checkpoint/restart path re-arming the virtual clock after a driver
+// crash. Both values must be non-negative and busyUntil-consistent only
+// with the run that journaled them; no cross-checking is possible here.
+func (t *Timeline) Restore(busyUntil, busyTotal float64) {
+	if busyUntil < 0 || busyTotal < 0 {
+		panic(fmt.Sprintf("sysmodel: negative timeline restore (%g, %g)", busyUntil, busyTotal))
+	}
+	t.busyUntil = busyUntil
+	t.busyTotal = busyTotal
+}
+
 // RemainingAt returns how much booked work remains at virtual time now —
 // the T_intransit_remaining estimate the middleware policy uses (Eq. 7).
 func (t *Timeline) RemainingAt(now float64) float64 {
@@ -82,6 +94,17 @@ func (p *StagingPool) Resize(cores int) {
 	p.cores = cores
 }
 
+// Restore rewinds the pool model to a journaled allocation and its
+// core-seconds accounting (checkpoint/restart).
+func (p *StagingPool) Restore(cores int, coreSecondsBusy, coreSecondsTotal float64) {
+	p.Resize(cores)
+	if coreSecondsBusy < 0 || coreSecondsTotal < 0 {
+		panic(fmt.Sprintf("sysmodel: negative core-seconds restore (%g, %g)", coreSecondsBusy, coreSecondsTotal))
+	}
+	p.coreSecondsBusy = coreSecondsBusy
+	p.coreSecondsTotal = coreSecondsTotal
+}
+
 // RunJob books a gang-scheduled job whose single-core duration is
 // coreSeconds: on M cores it takes coreSeconds/M wallclock. Accounting
 // attributes busy core-seconds for utilization.
@@ -100,6 +123,10 @@ func (p *StagingPool) AccountSpan(seconds float64) {
 	}
 	p.coreSecondsTotal += seconds * float64(p.cores)
 }
+
+// CoreSecondsBusy returns the accumulated busy core-seconds (the Eq. 12
+// numerator) — journaled at checkpoints alongside CoreSecondsTotal.
+func (p *StagingPool) CoreSecondsBusy() float64 { return p.coreSecondsBusy }
 
 // CoreSecondsTotal returns the accumulated allocated core-seconds (busy or
 // idle) across the spans the pool has been accounted for.

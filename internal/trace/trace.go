@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -103,13 +104,27 @@ func WriteJSONL(w io.Writer, steps []core.StepRecord) error {
 }
 
 // ReadJSONL parses records written by WriteJSONL (used by tests and
-// downstream tools).
+// downstream tools). A half-written, unterminated final line — the torn
+// tail a killed journaled run leaves behind — is tolerated and dropped; a
+// malformed terminated line fails the read. ReadCSV stays strict: CSV
+// artifacts are written whole at run end, never appended across a crash.
 func ReadJSONL(r io.Reader) ([]core.StepRecord, error) {
-	dec := json.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
 	var out []core.StepRecord
-	for dec.More() {
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
 		var js jsonStep
-		if err := dec.Decode(&js); err != nil {
+		if err := json.Unmarshal(line, &js); err != nil {
+			if i == len(lines)-1 {
+				break // unterminated torn tail from a killed writer
+			}
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 		rec := core.StepRecord{
