@@ -32,11 +32,14 @@ race:
 # request loop (one target per invocation, as the fuzz engine requires).
 # FuzzSpanWireHeader covers the trace-context request-header extension
 # (decode∘encode identity); the span-log golden test runs under `race`.
+# FuzzTenantKey pins the tenant-namespace codec: hostile tenant ids are
+# rejected, never mangled into another tenant's key space.
 fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzSpanWireHeader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzTenantKey -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME)
 

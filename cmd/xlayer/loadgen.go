@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"crosslayer/internal/grid"
+	"crosslayer/internal/loadgen"
+	"crosslayer/internal/staging"
+)
+
+// loadgenOpts mirrors the loadgen-mode flags.
+type loadgenOpts struct {
+	tenants, steps    int
+	servers, replicas int
+	maxConns, backlog int
+	quotaBytes        int64
+	quotaBlocks       int
+	seed              int64
+	logDir, outPath   string
+	short             bool
+}
+
+// runLoadgen drives the multi-tenant load harness and writes the
+// xlayer-bench/v1 report when -out is given.
+func runLoadgen(o loadgenOpts) error {
+	rep, err := loadgen.Run(loadgen.Options{
+		Tenants:     o.tenants,
+		Steps:       o.steps,
+		Servers:     o.servers,
+		Replicas:    o.replicas,
+		MaxConns:    o.maxConns,
+		Backlog:     o.backlog,
+		QuotaBytes:  o.quotaBytes,
+		QuotaBlocks: o.quotaBlocks,
+		Seed:        o.seed,
+		LogDir:      o.logDir,
+		Short:       o.short,
+		Log:         os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range rep.Entries {
+		if e.Name != "loadgen/aggregate" {
+			continue
+		}
+		if leaks := e.Metrics["manifest_leak_total"] + e.Metrics["checksum_mismatch_total"] +
+			e.Metrics["audit_missing_total"]; leaks > 0 {
+			return fmt.Errorf("loadgen: tenant isolation violated (leaks/mismatches/missing = %v)", leaks)
+		}
+	}
+	if o.outPath != "" {
+		if err := writeArtifact(o.outPath, func(f *os.File) error { return rep.Write(f) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", o.outPath)
+	}
+	return nil
+}
+
+// serveOpts mirrors the serve-mode flags.
+type serveOpts struct {
+	addr              string
+	servers           int
+	maxConns, backlog int
+	domainEdge        int
+	quotaBytes        int64
+	quotaBlocks       int
+	quotaTenants      string
+}
+
+// runServe stands up N staging servers with the configured admission caps
+// and blocks until SIGINT/SIGTERM. Addresses are printed one per line so a
+// remote pool (or another xlayer process) can be pointed at them.
+func runServe(o serveOpts) error {
+	if o.servers < 1 {
+		o.servers = 1
+	}
+	if o.domainEdge < 1 {
+		o.domainEdge = 32
+	}
+	domain := grid.NewBox(grid.IV(0, 0, 0),
+		grid.IV(o.domainEdge-1, o.domainEdge-1, o.domainEdge-1))
+	var tenants []string
+	if o.quotaTenants != "" {
+		for _, t := range strings.Split(o.quotaTenants, ",") {
+			t = strings.TrimSpace(t)
+			if !staging.ValidTenant(t) {
+				return fmt.Errorf("serve: %w: %q", staging.ErrBadTenant, t)
+			}
+			tenants = append(tenants, t)
+		}
+	}
+	if (o.quotaBytes > 0 || o.quotaBlocks > 0) && len(tenants) == 0 {
+		return fmt.Errorf("serve: -quota-bytes/-quota-blocks need -quota-tenants")
+	}
+
+	var servers []*staging.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < o.servers; i++ {
+		ln, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		space := staging.NewSpace(1, 0, domain)
+		for _, t := range tenants {
+			space.SetTenantQuota(t, staging.TenantQuota{
+				MaxBytes: o.quotaBytes, MaxBlocks: o.quotaBlocks,
+			})
+		}
+		servers = append(servers, staging.ServeOnOptions(ln, space, staging.ServerOptions{
+			MaxConns: o.maxConns,
+			Backlog:  o.backlog,
+		}))
+		fmt.Println(ln.Addr().String())
+	}
+	fmt.Fprintf(os.Stderr, "serving %d staging server(s); max_conns=%d backlog=%d; ^C to stop\n",
+		o.servers, o.maxConns, o.backlog)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, s := range servers {
+		admitted, queued, shed, quota := s.AdmissionStats()
+		fmt.Fprintf(os.Stderr, "admission: admitted=%d queued=%d shed=%d quota_rejected=%d\n",
+			admitted, queued, shed, quota)
+	}
+	return nil
+}

@@ -63,6 +63,18 @@ func main() {
 	benchBaseline := fs.String("baseline", "", "compare against this committed baseline report and fail on regression (bench mode)")
 	benchTol := fs.Float64("tol", 0.20, "allowed fractional speedup regression vs the baseline (bench mode)")
 	benchShort := fs.Bool("short", false, "trim workload step counts — the PR-gate configuration (bench mode)")
+	lgTenants := fs.Int("tenants", 8, "concurrent tenant workflows (loadgen mode)")
+	lgServers := fs.Int("servers", 3, "shared staging servers (loadgen mode; serve mode default 1)")
+	lgReplicas := fs.Int("replicas", 2, "pool replication factor (loadgen mode)")
+	lgMaxConns := fs.Int("max-conns", 4, "per-server admission cap; <0 = unlimited (loadgen/serve mode)")
+	lgBacklog := fs.Int("backlog", 2, "per-server bounded accept backlog (loadgen/serve mode)")
+	lgQuotaBytes := fs.Int64("quota-bytes", 0, "per-tenant per-server byte quota; 0 = unlimited (loadgen/serve mode)")
+	lgQuotaBlocks := fs.Int("quota-blocks", 0, "per-tenant per-server block quota; 0 = unlimited (loadgen/serve mode)")
+	lgSeed := fs.Int64("seed", 1, "arrival-jitter and backoff seed (loadgen mode)")
+	lgLogDir := fs.String("log-dir", "", "write one deterministic JSONL log per tenant into this directory (loadgen mode)")
+	serveAddr := fs.String("addr", "127.0.0.1:0", "listen address; port 0 picks free ports (serve mode)")
+	serveQuotaTenants := fs.String("quota-tenants", "", "comma-separated tenant ids the quota flags apply to (serve mode)")
+	serveDomainEdge := fs.Int("domain-edge", 32, "cubic domain edge anchoring the space's shard routing (serve mode)")
 	chaosSeeds := fs.Int("seeds", 25, "seeded fault schedules to explore (chaos mode)")
 	chaosStartSeed := fs.Int64("start-seed", 0, "first seed of the sweep (chaos mode)")
 	chaosReplay := fs.String("replay", "", "replay this shrunk repro file instead of sweeping (chaos mode)")
@@ -148,6 +160,44 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
 		}
+	case "loadgen":
+		// -out doubles as the bench report path; in loadgen mode the report
+		// is only written when -out is given explicitly.
+		outPath := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outPath = *benchOut
+			}
+		})
+		if err := runLoadgen(loadgenOpts{
+			tenants: *lgTenants, steps: *steps,
+			servers: *lgServers, replicas: *lgReplicas,
+			maxConns: *lgMaxConns, backlog: *lgBacklog,
+			quotaBytes: *lgQuotaBytes, quotaBlocks: *lgQuotaBlocks,
+			seed: *lgSeed, logDir: *lgLogDir, outPath: outPath,
+			short: *benchShort,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
+	case "serve":
+		// serve defaults to one server unless -servers was given explicitly.
+		nServers := 1
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "servers" {
+				nServers = *lgServers
+			}
+		})
+		if err := runServe(serveOpts{
+			addr: *serveAddr, servers: nServers,
+			maxConns: *lgMaxConns, backlog: *lgBacklog,
+			domainEdge: *serveDomainEdge,
+			quotaBytes: *lgQuotaBytes, quotaBlocks: *lgQuotaBlocks,
+			quotaTenants: *serveQuotaTenants,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xlayer:", err)
+			os.Exit(1)
+		}
 	case "chaos":
 		// -out doubles as the bench report path; in chaos mode it is the
 		// repro directory and only applies when given explicitly.
@@ -171,7 +221,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|spans|bench|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: xlayer <fig1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all|run|runspec|report|spans|bench|chaos|loadgen|serve> [flags]
 run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -objective tts|util|movement  -steps N  -cores N  -staging M
            -csv FILE  -jsonl FILE  -plotfile FILE
@@ -189,7 +239,12 @@ spans:     xlayer spans [-blame] [-critical-path] [-chrome trace.json] spans.jso
 bench:     xlayer bench [-short] [-out BENCH_pr4.json] [-baseline FILE] [-tol 0.20]
            [-pprof DIR] [-chrome trace.json]
 chaos:     xlayer chaos [-seeds N] [-start-seed S] [-steps MAX] [-out REPRO_DIR] [-json]
-           xlayer chaos -replay repro.json  (re-run a shrunk repro; violations exit nonzero)`)
+           xlayer chaos -replay repro.json  (re-run a shrunk repro; violations exit nonzero)
+loadgen:   xlayer loadgen [-tenants K] [-steps N] [-servers N] [-replicas K] [-seed S]
+           [-max-conns N] [-backlog N] [-quota-bytes B] [-quota-blocks N]
+           [-log-dir DIR] [-out report.json] [-short]
+serve:     xlayer serve [-addr HOST:PORT] [-servers N] [-max-conns N] [-backlog N]
+           [-quota-tenants t0,t1 -quota-bytes B] [-domain-edge N]`)
 }
 
 // runSpec executes a declarative workflow specification. A spec with

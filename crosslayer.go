@@ -53,6 +53,7 @@ import (
 	"crosslayer/internal/field"
 	"crosslayer/internal/grid"
 	"crosslayer/internal/journal"
+	"crosslayer/internal/loadgen"
 	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
 	"crosslayer/internal/plotfile"
@@ -413,6 +414,73 @@ func DecodeStagingManifest(r io.Reader) (StagingManifest, error) {
 // ParseStagingKill parses the crash-schedule shorthand
 // "server=1,at=3,revive=6" (revive optional; empty string yields nil).
 func ParseStagingKill(s string) (*StagingKillSpec, error) { return spec.ParseKill(s) }
+
+// Multi-tenant staging (DESIGN.md §14): per-tenant namespaces in the wire
+// key space, server-side byte/block quotas, bounded-admission servers, and
+// the closed-loop concurrent-workflow load harness behind `xlayer loadgen`.
+type (
+	// StagingTenantView is one tenant's handle on a shared StagingPool:
+	// every operation is qualified into the tenant's namespace. It
+	// satisfies StagingStore (Config.Staging), so N workflows can share one
+	// pool without colliding.
+	StagingTenantView = staging.TenantView
+	// StagingTenantQuota caps one tenant's bytes and blocks in a
+	// StagingSpace; the zero value is unlimited.
+	StagingTenantQuota = staging.TenantQuota
+	// StagingServerOptions sets a server's admission caps (MaxConns,
+	// bounded accept Backlog) and its structured event emitter.
+	StagingServerOptions = staging.ServerOptions
+	// LoadgenOptions tunes the multi-tenant load harness.
+	LoadgenOptions = loadgen.Options
+	// LoadgenRecord is one line of a tenant's deterministic step log.
+	LoadgenRecord = loadgen.Record
+)
+
+// Tenant-namespace failure modes.
+var (
+	// ErrBadTenant reports a tenant id outside [A-Za-z0-9._-]{1,64}.
+	ErrBadTenant = staging.ErrBadTenant
+	// ErrStagingQuotaExceeded reports a put rejected server-side by the
+	// tenant's byte or block quota. Clients do not retry it and pool
+	// breakers do not trip on it.
+	ErrStagingQuotaExceeded = staging.ErrQuotaExceeded
+)
+
+// ValidStagingTenant reports whether id is an acceptable tenant id.
+func ValidStagingTenant(id string) bool { return staging.ValidTenant(id) }
+
+// StagingTenantVar qualifies varName into tenant's wire-key namespace;
+// SplitStagingTenantVar inverts it exactly.
+func StagingTenantVar(tenant, varName string) (string, error) {
+	return staging.TenantVar(tenant, varName)
+}
+
+// SplitStagingTenantVar splits a qualified wire key into tenant and
+// variable; ok is false for untenanted or malformed keys.
+func SplitStagingTenantVar(key string) (tenant, varName string, ok bool) {
+	return staging.SplitTenantVar(key)
+}
+
+// StagingTenantOf extracts the tenant a wire key belongs to, "" for
+// untenanted keys.
+func StagingTenantOf(key string) string { return staging.TenantOf(key) }
+
+// ServeStagingOptions starts a TCP staging server on addr with explicit
+// admission options.
+func ServeStagingOptions(addr string, space *StagingSpace, opts StagingServerOptions) (*StagingServer, error) {
+	return staging.ServeOptions(addr, space, opts)
+}
+
+// ServeStagingOnOptions starts a staging server on an existing listener
+// with explicit admission options.
+func ServeStagingOnOptions(ln net.Listener, space *StagingSpace, opts StagingServerOptions) *StagingServer {
+	return staging.ServeOnOptions(ln, space, opts)
+}
+
+// RunLoadgen drives K seeded tenant workflows closed-loop against a shared
+// staging pool and reports per-tenant throughput, latency percentiles, and
+// shed/quota counts in the xlayer-bench/v1 schema.
+func RunLoadgen(opts LoadgenOptions) (*BenchReport, error) { return loadgen.Run(opts) }
 
 // Declarative workflow specifications (the paper's future-work
 // programming model).

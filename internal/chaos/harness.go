@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"crosslayer/internal/amr"
@@ -30,6 +31,13 @@ const (
 	simCores     = 1024
 	stagingCores = 64 // the paper's 16:1 ratio at simCores=1024
 	probeVar     = "chaos_probe"
+
+	// The two-tenant shape (Schedule.Tenants == 2): the workflow's staging
+	// traffic runs in wfTenant's namespace, the harness's durability probes
+	// in probeTenant's — and only probeTenant carries a quota, so the
+	// workflow-side determinism contracts are untouched.
+	wfTenant    = "t0"
+	probeTenant = "t1"
 )
 
 // RunResult is the outcome of driving one schedule through the real
@@ -105,6 +113,49 @@ func (t *tallySink) Emit(ev obs.Event) {
 
 func (t *tallySink) Close() error { return t.inner.Close() }
 
+// tenantStore scopes the workflow's data operations to the workflow tenant
+// while keeping the pool-level span and event faces. TenantView omits those
+// faces on purpose — a tenant of an arbitrarily shared pool does not own
+// the pool's drain points — but the chaos harness is a single-driver shape:
+// the one workflow's step barrier is exactly where the shared pool's
+// buffered events and spans must drain, or the op spans lose their phase
+// parents and the concurrent path loses its deterministic drain order.
+type tenantStore struct {
+	*staging.TenantView
+	pool *staging.Pool
+}
+
+func (t tenantStore) SetSpanScope(c span.Ctx) { t.pool.SetSpanScope(c) }
+func (t tenantStore) DrainEvents()            { t.pool.DrainEvents() }
+func (t tenantStore) DrainSpans()             { t.pool.DrainSpans() }
+
+// kindTally counts the staging servers' admission and quota events by kind.
+// Unlike tallySink it needs a lock: server handlers emit concurrently. The
+// counts never feed a byte-compared log — they exist only so the admission
+// reconciliation check can hold events, metrics, and AdmissionStats to the
+// same numbers.
+type kindTally struct {
+	mu     sync.Mutex
+	byKind map[obs.Kind]int
+}
+
+func (t *kindTally) Emit(ev obs.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byKind == nil {
+		t.byKind = make(map[obs.Kind]int)
+	}
+	t.byKind[ev.Kind]++
+}
+
+func (t *kindTally) Close() error { return nil }
+
+func (t *kindTally) count(kind obs.Kind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKind[kind]
+}
+
 // Flush forwards to the wrapped JSONL sink so the journal's barrier-flush
 // hook can push buffered events to the log before capturing its offset.
 func (t *tallySink) Flush() error {
@@ -125,12 +176,20 @@ type harness struct {
 	pool        *staging.Pool
 	gates       []*faultnet.Gate
 	spaces      []*staging.Space
+	servers     []*staging.Server
+	srvEvents   *kindTally
 	tally       *tallySink
 	tallies     []*tallySink
 	reg         *obs.Registry
 	resumeBase  int
 	effCooldown int
 	planHas     map[policy.Mechanism]bool
+
+	// probe is where probePut writes: the pool itself, or the probe
+	// tenant's view of it on two-tenant schedules.
+	probe interface {
+		Put(varName string, version int, d *field.BoxData) error
+	}
 
 	// dataDead marks endpoints whose backing state is known lost (killed)
 	// and not yet restored by a rejoin repair. Wipes deliberately do NOT
@@ -161,8 +220,14 @@ func (h *harness) violate(invariant string, step int, format string, args ...any
 // resumed run must share the trace identity of its uninterrupted twin, or
 // the resume-determinism byte comparison could never hold.
 func traceSeedOf(s Schedule) string {
-	return fmt.Sprintf("chaos/seed=%d/steps=%d/servers=%d/replicas=%d/conc=%d",
+	seed := fmt.Sprintf("chaos/seed=%d/steps=%d/servers=%d/replicas=%d/conc=%d",
 		s.Seed, s.Steps, s.Servers, s.Replicas, s.Concurrency)
+	// Appended only on the two-tenant shape so historical schedules keep
+	// their trace identities (and their journal fingerprints) byte for byte.
+	if s.Tenants == 2 {
+		seed += fmt.Sprintf("/tenants=%d", s.Tenants)
+	}
+	return seed
 }
 
 // Run drives one schedule through the real engine and returns the
@@ -199,6 +264,8 @@ func Run(s Schedule) (*RunResult, error) {
 	// models the server processes' own and is never cross-checked against
 	// a driver's event stream.
 	srvReg := obs.NewRegistry()
+	h.srvEvents = &kindTally{}
+	srvEm := obs.NewEmitter(h.srvEvents)
 	var servers []io.Closer
 	fail := func(err error) (*RunResult, error) {
 		for _, c := range servers {
@@ -209,6 +276,9 @@ func Run(s Schedule) (*RunResult, error) {
 	addrs := make([]string, 0, s.Servers)
 	for i := 0; i < s.Servers; i++ {
 		space := staging.NewSpace(1, s.SqueezeBytes, domain)
+		if s.Tenants == 2 && s.QuotaBytes > 0 {
+			space.SetTenantQuota(probeTenant, staging.TenantQuota{MaxBytes: s.QuotaBytes})
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fail(fmt.Errorf("chaos: staging listen: %w", err))
@@ -218,11 +288,12 @@ func Run(s Schedule) (*RunResult, error) {
 		if s.Net != nil {
 			wrapped = faultnet.Listen(wrapped, s.Net.plan())
 		}
-		srv := staging.ServeOn(wrapped, space)
+		srv := staging.ServeOnOptions(wrapped, space, staging.ServerOptions{Events: srvEm})
 		srv.Observe(srvReg)
 		addrs = append(addrs, ln.Addr().String())
 		h.gates = append(h.gates, gate)
 		h.spaces = append(h.spaces, space)
+		h.servers = append(h.servers, srv)
 		servers = append(servers, srv)
 	}
 
@@ -267,6 +338,7 @@ func Run(s Schedule) (*RunResult, error) {
 		c.Close()
 	}
 	h.checkEndOfRun(res)
+	h.checkAdmission(srvReg)
 	h.checkSpanTree(spanBuf.Bytes())
 
 	return &RunResult{
@@ -331,6 +403,22 @@ func (h *harness) drive(logBuf, spanBuf, jbuf *bytes.Buffer, domain grid.Box, ad
 		return core.Result{}, err
 	}
 	h.pool = pool
+	h.probe = pool
+	var store core.StagingStore = pool
+	wfTen := ""
+	if s.Tenants == 2 {
+		wfView, err := pool.Tenant(wfTenant)
+		if err != nil {
+			pool.Close()
+			return core.Result{}, fmt.Errorf("chaos: tenant view: %w", err)
+		}
+		probeView, err := pool.Tenant(probeTenant)
+		if err != nil {
+			pool.Close()
+			return core.Result{}, fmt.Errorf("chaos: tenant view: %w", err)
+		}
+		store, h.probe, wfTen = tenantStore{wfView, pool}, probeView, wfTenant
+	}
 
 	// The write-ahead journal rides every run, crash or not, so the
 	// checkpoint_write events are a uniform part of the deterministic
@@ -359,7 +447,8 @@ func (h *harness) drive(logBuf, spanBuf, jbuf *bytes.Buffer, domain grid.Box, ad
 		Objective:              objectiveOf(s.Objective),
 		StaticPlacement:        policy.PlaceInTransit,
 		EnableHybrid:           s.Hybrid,
-		Staging:                pool,
+		Staging:                store,
+		Tenant:                 wfTen,
 		StagingFailureCooldown: s.Cooldown,
 		StagingConcurrency:     s.Concurrency,
 		AfterStep:              h.afterStep,
@@ -539,9 +628,11 @@ func (h *harness) updateLossArmed() {
 	}
 }
 
-// probePut stores this step's tracer blocks. Failures are tolerated — a
-// full outage or a memory squeeze legitimately rejects puts, and the pool
-// records only successful puts in the manifest the audit checks.
+// probePut stores this step's tracer blocks — through the probe tenant's
+// view on two-tenant schedules. Failures are tolerated: a full outage, a
+// memory squeeze, or the probe tenant's quota legitimately rejects puts,
+// and the pool records only successful puts in the manifest the audit
+// checks.
 func (h *harness) probePut(step int) {
 	for i, box := range h.probeBoxes {
 		d := field.New(box, 1)
@@ -549,6 +640,6 @@ func (h *harness) probePut(step int) {
 		for j := range comp {
 			comp[j] = float64(step*31 + i)
 		}
-		_ = h.pool.Put(probeVar, step, d)
+		_ = h.probe.Put(probeVar, step, d)
 	}
 }

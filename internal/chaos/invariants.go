@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"crosslayer/internal/core"
+	"crosslayer/internal/obs"
 	"crosslayer/internal/obs/span"
 	"crosslayer/internal/policy"
 	"crosslayer/internal/reduce"
@@ -49,7 +50,11 @@ const (
 	// InvMetricsConsistency: the pool and workflow counters must agree
 	// with the event stream — failover_get/repair/endpoint_down event
 	// counts equal their counters, degraded-step counts equal the
-	// staging_degrade events and the trace records.
+	// staging_degrade events and the trace records — and, on the server
+	// side, the staging servers' AdmissionStats must reconcile exactly with
+	// their admission_shed/quota_rejected events and the
+	// xlayer_staging_admission_* metrics (nonzero quota counts ride the
+	// two-tenant schedules).
 	InvMetricsConsistency = "metrics_consistency"
 
 	// InvReplayDeterminism: re-running a schedule yields a byte-identical
@@ -305,5 +310,51 @@ func (h *harness) checkEndOfRun(res core.Result) {
 	if c := counter("xlayer_steps_total"); c != len(tail) {
 		h.violate(InvMetricsConsistency, -1,
 			"counter xlayer_steps_total=%d but this driver executed %d steps", c, len(tail))
+	}
+}
+
+// checkAdmission reconciles the staging servers' cumulative admission
+// tallies against the events they emitted and the metrics they registered,
+// after every server has closed (no handler can still be mid-count). The
+// three faces are updated independently — atomic counters, emitter, metric
+// instruments — so any drift between them is a real bookkeeping bug, not a
+// timing artifact. reg is the servers' shared registry.
+func (h *harness) checkAdmission(reg *obs.Registry) {
+	var admitted, queued, shed, quota int64
+	for _, s := range h.servers {
+		a, q, sh, qr := s.AdmissionStats()
+		admitted += a
+		queued += q
+		shed += sh
+		quota += qr
+	}
+	counter := func(name string, labels ...string) int64 {
+		return int64(reg.Counter(name, "", labels...).Value())
+	}
+	if c := counter("xlayer_staging_admission_admitted_total"); c != admitted {
+		h.violate(InvMetricsConsistency, -1,
+			"admission metric admitted=%d but server stats say %d", c, admitted)
+	}
+	if c := counter("xlayer_staging_admission_queued_total"); c != queued {
+		h.violate(InvMetricsConsistency, -1,
+			"admission metric queued=%d but server stats say %d", c, queued)
+	}
+	shedMetric := counter("xlayer_staging_admission_shed_total", "reason", "max_conns") +
+		counter("xlayer_staging_admission_shed_total", "reason", "backlog_full")
+	if shedMetric != shed {
+		h.violate(InvMetricsConsistency, -1,
+			"admission shed metrics total %d but server stats say %d", shedMetric, shed)
+	}
+	if ev := h.srvEvents.count(obs.KindAdmissionShed); int64(ev) != shed {
+		h.violate(InvMetricsConsistency, -1,
+			"%d admission_shed events but server stats say %d", ev, shed)
+	}
+	if c := counter("xlayer_staging_admission_quota_rejected_total"); c != quota {
+		h.violate(InvMetricsConsistency, -1,
+			"quota metric rejected=%d but server stats say %d", c, quota)
+	}
+	if ev := h.srvEvents.count(obs.KindQuotaRejected); int64(ev) != quota {
+		h.violate(InvMetricsConsistency, -1,
+			"%d quota_rejected events but server stats say %d", ev, quota)
 	}
 }

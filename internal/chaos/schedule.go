@@ -124,6 +124,21 @@ type Schedule struct {
 
 	// Crash kills and resumes the workflow driver mid-run (see Crash).
 	Crash *Crash `json:"crash,omitempty"`
+
+	// Tenants, when 2, runs the multi-tenant shape: the workflow's staging
+	// traffic is scoped to tenant "t0" through a TenantView of the shared
+	// pool while the harness's durability probes write as tenant "t1" — two
+	// namespaces sharing every server under whatever faults the schedule
+	// throws. 0 (and 1) keep the historical single-tenant shape.
+	Tenants int `json:"tenants,omitempty"`
+
+	// QuotaBytes, when > 0 (requires Tenants == 2), caps the probe tenant's
+	// per-server byte usage so probe puts start being rejected server-side
+	// with the quota status mid-run. The workflow tenant stays unquoted, so
+	// the determinism and degradation contracts are untouched; what the
+	// dimension buys is the admission/quota reconciliation check running
+	// with nonzero counts under chaos.
+	QuotaBytes int64 `json:"quota_bytes,omitempty"`
 }
 
 // FaultCount is the shrinker's size metric: every discrete fault source in
@@ -140,6 +155,9 @@ func (s Schedule) FaultCount() int {
 		n++
 	}
 	if s.Crash != nil {
+		n++
+	}
+	if s.QuotaBytes > 0 {
 		n++
 	}
 	return n
@@ -208,6 +226,17 @@ func (s Schedule) Validate() error {
 			return fmt.Errorf("chaos: crash at step %d needs 0..%d (a step must remain after the resume)",
 				c.At, s.Steps-2)
 		}
+	}
+	switch s.Tenants {
+	case 0, 1, 2:
+	default:
+		return fmt.Errorf("chaos: %d tenants unsupported (0, 1, or 2)", s.Tenants)
+	}
+	if s.QuotaBytes < 0 {
+		return fmt.Errorf("chaos: negative quota_bytes %d", s.QuotaBytes)
+	}
+	if s.QuotaBytes > 0 && s.Tenants != 2 {
+		return fmt.Errorf("chaos: quota_bytes needs the two-tenant shape (tenants=2)")
 	}
 	switch s.App {
 	case "", "advection-diffusion", "polytropic-gas":
@@ -313,6 +342,17 @@ func Generate(seed int64) Schedule {
 	// the journal, leaving at least one step for the resumed run.
 	if rng.Intn(4) == 0 {
 		s.Crash = &Crash{At: rng.Intn(s.Steps - 1)}
+	}
+	// Two-tenant dimension, drawn last so every seed keeps the schedule it
+	// generated before the dimension existed. A third of schedules split the
+	// run across two namespaces; half of those squeeze the probe tenant's
+	// quota small enough (the probes are 64-byte blocks that are never
+	// dropped) that rejections fire within the first few steps.
+	if rng.Intn(3) == 0 {
+		s.Tenants = 2
+		if rng.Intn(2) == 0 {
+			s.QuotaBytes = 256 + rng.Int63n(1<<10)
+		}
 	}
 	return s
 }

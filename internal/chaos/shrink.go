@@ -93,6 +93,17 @@ func candidates(s Schedule) []Schedule {
 		c.SqueezeBytes = 0
 		add(c)
 	}
+	if s.QuotaBytes > 0 {
+		c := s
+		c.QuotaBytes = 0
+		add(c)
+	}
+	if s.Tenants == 2 {
+		c := s
+		c.Tenants = 0
+		c.QuotaBytes = 0 // quota rides the two-tenant shape
+		add(c)
+	}
 	for i := range s.Kills {
 		c := s
 		c.Kills = dropKill(s.Kills, i)

@@ -132,6 +132,15 @@ type Config struct {
 	// adaptation counters, and staging-pool gauges.
 	Metrics *obs.Registry
 
+	// Tenant names the namespace this workflow's staging traffic runs in
+	// when its store is tenant-scoped (a staging.Pool with
+	// PoolOptions.Tenant, or a staging.TenantView of a shared pool). The
+	// engine stamps it into every emitted event so shared-pool runs
+	// attribute their streams by tenant; it does not itself qualify
+	// variable names — the store does. Empty = single-tenant (the
+	// historical behavior, with byte-identical logs).
+	Tenant string
+
 	// Journal, when set, receives one write-ahead checkpoint per step
 	// barrier — the crash-consistency contract: after Step(k) returns, a
 	// killed driver can resume from step k+1 (see ResumeWorkflow). The
@@ -244,6 +253,9 @@ func buildWorkflow(cfg Config, sim solver.Simulation, rec *journal.Recovered, op
 	if c.StagingConcurrency < 1 {
 		return nil, fmt.Errorf("core: staging concurrency must be >= 1, got %d", c.StagingConcurrency)
 	}
+	if c.Tenant != "" && !staging.ValidTenant(c.Tenant) {
+		return nil, fmt.Errorf("core: %w: %q", staging.ErrBadTenant, c.Tenant)
+	}
 	h := sim.Hierarchy()
 	w := &Workflow{
 		cfg:           c,
@@ -267,6 +279,7 @@ func buildWorkflow(cfg Config, sim solver.Simulation, rec *journal.Recovered, op
 	w.met = newCoreMetrics(c.Metrics)
 	w.journal = c.Journal
 	if w.events != nil {
+		w.events.SetTenant(c.Tenant)
 		// Event timestamps are the workflow's model time: the later of the
 		// two timelines' frontiers. Deterministic across seeded runs.
 		w.events.SetVirtualClock(func() float64 {

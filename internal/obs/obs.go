@@ -82,6 +82,12 @@ const (
 	// appends to the original log — an in-stream marker would break the
 	// byte-identity the resume determinism contract promises.
 	KindResume Kind = "resume"
+	// KindAdmissionShed marks a staging-server connection refused by
+	// admission control: MaxConns reached and the accept backlog full.
+	KindAdmissionShed Kind = "admission_shed"
+	// KindQuotaRejected marks a staging put rejected server-side because it
+	// would push a tenant past its byte or block quota.
+	KindQuotaRejected Kind = "quota_rejected"
 )
 
 // StepUnset marks an event emitted outside any step span; the emitter
@@ -120,6 +126,11 @@ type Event struct {
 	// Detail carries free-form context: a policy's inputs, a fault's
 	// description, a transport error.
 	Detail string `json:"detail,omitempty"`
+	// Tenant attributes the event to one staging tenant: stamped by a
+	// per-tenant emitter (SetTenant) on every event it emits, or set
+	// directly on shared-service events whose tenant is known per event
+	// (quota_rejected).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Sink receives emitted events. Implementations must be safe for
@@ -251,7 +262,8 @@ type Emitter struct {
 	seq   uint64
 	clock func() float64 // virtual model time; nil = 0
 	wall  func() time.Time
-	step  int // current step span (StepUnset outside one)
+	step  int    // current step span (StepUnset outside one)
+	ten   string // tenant stamp (SetTenant); "" = untenanted
 }
 
 // NewEmitter builds an emitter over sink (nil sink yields a nil emitter, so
@@ -285,6 +297,18 @@ func (e *Emitter) SetVirtualClock(clock func() float64) {
 		return
 	}
 	e.clock = clock
+}
+
+// SetTenant stamps every subsequently emitted event with the tenant id —
+// the attribution handle of a per-tenant emitter over a shared staging
+// service. Events that already carry a tenant keep their own.
+func (e *Emitter) SetTenant(tenant string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ten = tenant
 }
 
 // Close closes the sink.
@@ -363,6 +387,9 @@ func (e *Emitter) Emit(ev Event) {
 	}
 	if ev.Step == StepUnset {
 		ev.Step = e.step
+	}
+	if ev.Tenant == "" {
+		ev.Tenant = e.ten
 	}
 	sink := e.sink
 	e.mu.Unlock()
@@ -469,6 +496,31 @@ func (e *Emitter) CheckpointWrite(step, manifestEntries int) {
 	e.Emit(Event{
 		Kind: KindCheckpointWrite, Step: step,
 		Detail: fmt.Sprintf("manifest_entries=%d", manifestEntries),
+	})
+}
+
+// AdmissionShed records a staging-server connection refused by admission
+// control, with the refusal reason ("max_conns" when no backlog is
+// configured, "backlog_full" otherwise) and the admission state at refusal.
+func (e *Emitter) AdmissionShed(reason string, active, backlog int) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindAdmissionShed, Step: StepUnset, Reason: reason, Attempt: backlog,
+		Detail: fmt.Sprintf("connection refused: %s (active=%d backlog=%d)", reason, active, backlog),
+	})
+}
+
+// QuotaRejected records a staging put rejected server-side by a tenant's
+// byte or block quota.
+func (e *Emitter) QuotaRejected(tenant, varName string, bytes int64) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindQuotaRejected, Step: StepUnset, Tenant: tenant, Bytes: bytes,
+		Detail: fmt.Sprintf("put %q rejected by tenant %q quota", varName, tenant),
 	})
 }
 

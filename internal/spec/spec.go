@@ -106,6 +106,21 @@ type Workflow struct {
 	// StagingFailureCooldown is how many extra steps placement stays
 	// in-situ after a staging failure (default 2, -1 disables).
 	StagingFailureCooldown int `json:"staging_failure_cooldown"`
+	// Tenant scopes the workflow's staging traffic to one tenant namespace
+	// on the pooled TCP staging path: every variable name is qualified with
+	// the tenant prefix before it reaches the wire, and every emitted event
+	// is attributed to the tenant. Requires staging_servers > 1. The field
+	// is omitted from the JSON encoding when empty, so fingerprints and
+	// journals of single-tenant specs are unchanged.
+	Tenant string `json:"tenant,omitempty"`
+	// StagingMaxConns caps the connections each staging server serves
+	// concurrently (admission control; 0 = unlimited, the historical
+	// behavior). Requires staging_tcp.
+	StagingMaxConns int `json:"staging_max_conns,omitempty"`
+	// StagingAcceptBacklog bounds each server's accept backlog: connections
+	// arriving with all MaxConns slots busy park here, and further arrivals
+	// are shed deterministically. Only meaningful with staging_max_conns.
+	StagingAcceptBacklog int `json:"staging_accept_backlog,omitempty"`
 
 	// Events, when set, streams structured runtime events (policy
 	// decisions, placement changes, staging retries, injected faults, …)
@@ -174,6 +189,12 @@ var (
 	// ErrConcurrencyRequiresTCP: the concurrent data path overlaps real
 	// transport I/O, which only exists on the TCP staging path.
 	ErrConcurrencyRequiresTCP = errors.New("spec: staging_concurrency > 1 requires staging_tcp")
+	// ErrTenantRequiresPool: tenant namespaces are qualified by the
+	// replicated pool client, which only exists on the pooled TCP path.
+	ErrTenantRequiresPool = errors.New("spec: tenant requires staging_servers > 1")
+	// ErrMaxConnsRequireTCP: admission control guards real listeners, which
+	// only exist on the TCP staging path.
+	ErrMaxConnsRequireTCP = errors.New("spec: staging_max_conns requires staging_tcp")
 )
 
 // Resume failure classes, aliased from the journal package so spec callers
@@ -325,6 +346,21 @@ func (w *Workflow) validate() error {
 		return fmt.Errorf("%w (%d > %d)", ErrReplicasExceedServers,
 			w.StagingReplicas, max(w.StagingServers, 1))
 	}
+	if w.Tenant != "" {
+		if w.StagingServers < 2 {
+			return fmt.Errorf("%w (got staging_servers=%d)", ErrTenantRequiresPool, w.StagingServers)
+		}
+		if !staging.ValidTenant(w.Tenant) {
+			return fmt.Errorf("spec: %w: %q", staging.ErrBadTenant, w.Tenant)
+		}
+	}
+	if w.StagingMaxConns < 0 || w.StagingAcceptBacklog < 0 {
+		return fmt.Errorf("spec: negative staging_max_conns/staging_accept_backlog")
+	}
+	if (w.StagingMaxConns > 0 || w.StagingAcceptBacklog > 0) && !w.StagingTCP {
+		return fmt.Errorf("%w (got staging_max_conns=%d, staging_accept_backlog=%d)",
+			ErrMaxConnsRequireTCP, w.StagingMaxConns, w.StagingAcceptBacklog)
+	}
 	if w.Resume && w.Journal == "" {
 		return fmt.Errorf("%w (set journal)", ErrResumeRequiresJournal)
 	}
@@ -418,6 +454,7 @@ func (w *Workflow) Build() (*core.Workflow, solver.Simulation, error) {
 
 	cfg.StagingFailureCooldown = w.StagingFailureCooldown
 	cfg.StagingConcurrency = w.StagingConcurrency
+	cfg.Tenant = w.Tenant
 
 	// Recover the journal first: a resume needs the last checkpoint's log
 	// offsets before the event/span files are opened, so their torn tails
@@ -667,7 +704,10 @@ func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, tr *span.Tr
 		// stream would break its run-to-run byte stability.
 		wrapped = faultnet.Listen(ln, plan)
 	}
-	srv := staging.ServeOn(wrapped, space)
+	// Admission events fire on accept goroutines, so spec-built servers
+	// carry no emitter (same byte-stability reasoning as OnFault above);
+	// sheds surface through metrics and Server.AdmissionStats.
+	srv := staging.ServeOnOptions(wrapped, space, w.serverOptions())
 	srv.Observe(reg)
 	opts := staging.ClientOptions{
 		OpTimeout:   2 * time.Second,
@@ -733,7 +773,7 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 		if w.Fault != nil {
 			wrapped = faultnet.Listen(wrapped, w.Fault.Plan())
 		}
-		srv := staging.ServeOn(wrapped, space)
+		srv := staging.ServeOnOptions(wrapped, space, w.serverOptions())
 		srv.Observe(reg)
 		addrs = append(addrs, ln.Addr().String())
 		gates = append(gates, gate)
@@ -743,6 +783,7 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 	pool, err := staging.NewPool(addrs, domain, staging.PoolOptions{
 		Replicas:    max(w.StagingReplicas, 1),
 		Concurrency: w.StagingConcurrency,
+		Tenant:      w.Tenant,
 		Client: staging.ClientOptions{
 			// One retry per op: the pool's circuit breaker is the resilience
 			// layer here, so a dead endpoint should trip it quickly instead of
@@ -779,9 +820,21 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 // that shape a run, so equal specs trace equal IDs and distinct
 // configurations get distinct traces.
 func (w *Workflow) traceSeed() string {
-	return fmt.Sprintf("%s/%s/%v/steps=%d/servers=%d/replicas=%d/conc=%d",
+	s := fmt.Sprintf("%s/%s/%v/steps=%d/servers=%d/replicas=%d/conc=%d",
 		w.Application, w.Objective, w.Adapt, w.StepsOrDefault(),
 		w.StagingServers, w.StagingReplicas, w.StagingConcurrency)
+	// Appended only when tenanted, so single-tenant specs keep their
+	// historical trace IDs (and golden span logs) bit for bit.
+	if w.Tenant != "" {
+		s += "/tenant=" + w.Tenant
+	}
+	return s
+}
+
+// serverOptions is the admission configuration every spec-built staging
+// server runs with.
+func (w *Workflow) serverOptions() staging.ServerOptions {
+	return staging.ServerOptions{MaxConns: w.StagingMaxConns, Backlog: w.StagingAcceptBacklog}
 }
 
 // BoundMetricsAddr returns the actual metrics listen address after Build

@@ -121,6 +121,54 @@ func FuzzReadRequest(f *testing.F) {
 	})
 }
 
+// FuzzTenantKey pins the tenant-namespace codec: for every accepted
+// (tenant, var) pair, encode∘decode must be the identity — a hostile
+// tenant id can never be mangled into another tenant's namespace, only
+// rejected outright — and any key the splitter attributes to a tenant must
+// re-encode to the identical key (no two namespaces share a key).
+func FuzzTenantKey(f *testing.F) {
+	f.Add("t0", "analysis")
+	f.Add("team-a", "analysis#r2")
+	f.Add("t1", "nested/looking/var")
+	f.Add("", "x")       // empty tenant must be rejected
+	f.Add("a/b", "x")    // separator smuggling must be rejected
+	f.Add("t0/t1", "x")  // nested-namespace smuggling must be rejected
+	f.Add("..", "x")     // path-looking ids are allowed chars, must round-trip
+	f.Add("t0", "")      // empty var must be rejected
+	f.Add("t0", "/")     // var beginning with the separator
+	f.Add("a\x00b", "x") // control bytes must be rejected
+	f.Add("é", "x")      // non-ASCII must be rejected
+
+	f.Fuzz(func(t *testing.T, tenant, varName string) {
+		key, err := TenantVar(tenant, varName)
+		if err != nil {
+			// Rejection is fine — but the validator must agree it was
+			// hostile: a valid tenant with a non-empty var always encodes.
+			if ValidTenant(tenant) && varName != "" {
+				t.Fatalf("TenantVar(%q, %q) rejected a valid pair: %v", tenant, varName, err)
+			}
+			return
+		}
+		if !ValidTenant(tenant) || varName == "" {
+			t.Fatalf("TenantVar(%q, %q) accepted a hostile pair", tenant, varName)
+		}
+		ten, v, ok := SplitTenantVar(key)
+		if !ok || ten != tenant || v != varName {
+			t.Fatalf("split(%q) = (%q, %q, %v), want (%q, %q, true)",
+				key, ten, v, ok, tenant, varName)
+		}
+		if got := TenantOf(key); got != tenant {
+			t.Fatalf("TenantOf(%q) = %q, want %q", key, got, tenant)
+		}
+		// Re-encoding the split must reproduce the identical key: no two
+		// (tenant, var) pairs can collide on one wire key.
+		key2, err := TenantVar(ten, v)
+		if err != nil || key2 != key {
+			t.Fatalf("re-encode of split(%q) = (%q, %v)", key, key2, err)
+		}
+	})
+}
+
 // TestDecodeBoundsAllocationToInput pins the over-allocation defense: a
 // header claiming a near-maximal box followed by a tiny body must fail
 // fast without ballooning memory (the chunked reader stops at EOF).

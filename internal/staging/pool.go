@@ -59,6 +59,7 @@ type Pool struct {
 	thresh   int
 	probeEvn int
 	conc     int
+	tenant   string
 	events   *obs.Emitter
 
 	mFailovers  *obs.Counter
@@ -146,6 +147,13 @@ type PoolOptions struct {
 	// byte-identical (raw racy error strings would not be).
 	Client ClientOptions
 
+	// Tenant, when set, scopes the whole pool to one tenant namespace:
+	// every variable name is qualified with the tenant prefix before it
+	// reaches the wire (see TenantVar). Use this for a pool a single
+	// workflow owns; to share one pool between concurrent workflows build
+	// it untenanted and hand each workflow a view from Pool.Tenant.
+	Tenant string
+
 	// Events receives endpoint_down/endpoint_up/failover_get/repair events.
 	Events *obs.Emitter
 
@@ -178,6 +186,9 @@ func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
 	if opts.Concurrency < 1 {
 		opts.Concurrency = 1
 	}
+	if opts.Tenant != "" && !ValidTenant(opts.Tenant) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenant, opts.Tenant)
+	}
 	copts := opts.Client
 	copts.Events = nil // see PoolOptions.Client
 	copts.Metrics = opts.Metrics
@@ -187,6 +198,7 @@ func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
 		thresh:   opts.FailureThreshold,
 		probeEvn: opts.ProbeEvery,
 		conc:     opts.Concurrency,
+		tenant:   opts.Tenant,
 		events:   opts.Events,
 		live:     make(map[string]map[int]int),
 	}
@@ -495,6 +507,8 @@ func poolErrLabel(err error) string {
 		return ""
 	case errors.Is(err, ErrNoMemory):
 		return "no memory"
+	case errors.Is(err, ErrQuotaExceeded):
+		return "quota exceeded"
 	case errors.Is(err, ErrStagingUnavailable):
 		return "staging unavailable"
 	}
@@ -574,6 +588,15 @@ func (p *Pool) DrainSpans() {
 
 // route picks the primary endpoint index for a block.
 func (p *Pool) route(b grid.Box) int { return routeIndex(p.domain, b, len(p.eps)) }
+
+// scoped qualifies varName into the pool's tenant namespace when the pool
+// is tenant-scoped (PoolOptions.Tenant); identity otherwise.
+func (p *Pool) scoped(varName string) (string, error) {
+	if p.tenant == "" {
+		return varName, nil
+	}
+	return TenantVar(p.tenant, varName)
+}
 
 // gateDecision is the breaker's answer for one offered operation.
 type gateDecision int
@@ -686,6 +709,10 @@ func (p *Pool) suspect(ep *endpoint) bool {
 // variable. The put succeeds when at least one endpoint stored the block;
 // only a block with no surviving replica at all is a failure.
 func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
+	varName, err := p.scoped(varName)
+	if err != nil {
+		return err
+	}
 	if p.conc > 1 {
 		return p.putConcurrent(varName, version, d)
 	}
@@ -697,6 +724,7 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 	n := len(p.eps)
 	stored := 0
 	noMem := false
+	quota := false
 	var lastErr error
 	for j := 0; j < p.replicas; j++ {
 		ep := p.eps[(primary+j)%n]
@@ -717,13 +745,17 @@ func (p *Pool) Put(varName string, version int, d *field.BoxData) error {
 			p.opOK(ep)
 			noMem = true
 			rec.rpc(j, ep.idx, "rpc:put", 0, e0, "no memory")
+		case errors.Is(err, ErrQuotaExceeded):
+			p.opOK(ep)
+			quota = true
+			rec.rpc(j, ep.idx, "rpc:put", 0, e0, "quota exceeded")
 		default:
 			lastErr = err
 			p.opFail(ep)
 			rec.rpc(j, ep.idx, "rpc:put", 0, e0, errDetail(err))
 		}
 	}
-	err := p.finishPut(varName, version, stored, noMem, lastErr)
+	err = p.finishPut(varName, version, stored, noMem, quota, lastErr)
 	rec.finish(p, err)
 	return err
 }
@@ -739,6 +771,7 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 	type putRes struct {
 		stored bool
 		noMem  bool
+		quota  bool
 		err    error
 	}
 	ch := make(chan putRes, p.replicas)
@@ -773,6 +806,10 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 				p.opOK(ep)
 				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, "no memory")
 				ch <- putRes{noMem: true}
+			case errors.Is(err, ErrQuotaExceeded):
+				p.opOK(ep)
+				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, "quota exceeded")
+				ch <- putRes{quota: true}
 			default:
 				p.opFail(ep)
 				rec.rpc(j, ep.idx, "rpc:put", q0-enq, e0, errDetail(err))
@@ -782,6 +819,7 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 	}
 	stored := 0
 	noMem := false
+	quota := false
 	var lastErr error
 	for j := 0; j < p.replicas; j++ {
 		r := <-ch
@@ -791,19 +829,27 @@ func (p *Pool) putConcurrent(varName string, version int, d *field.BoxData) erro
 		if r.noMem {
 			noMem = true
 		}
+		if r.quota {
+			quota = true
+		}
 		if r.err != nil {
 			lastErr = r.err
 		}
 	}
-	err := p.finishPut(varName, version, stored, noMem, lastErr)
+	err := p.finishPut(varName, version, stored, noMem, quota, lastErr)
 	rec.finish(p, err)
 	return err
 }
 
 // finishPut turns the replica-write tallies into the Put result and records
-// the stored block in the live manifest.
-func (p *Pool) finishPut(varName string, version, stored int, noMem bool, lastErr error) error {
+// the stored block in the live manifest. A quota rejection outranks the
+// other zero-stored outcomes: it is the tenant's own deterministic signal,
+// not a transient infrastructure failure.
+func (p *Pool) finishPut(varName string, version, stored int, noMem, quota bool, lastErr error) error {
 	if stored == 0 {
+		if quota {
+			return ErrQuotaExceeded
+		}
 		if noMem {
 			return ErrNoMemory
 		}
@@ -822,6 +868,10 @@ func (p *Pool) finishPut(varName string, version, stored int, noMem bool, lastEr
 // some shard has no reachable replica at all — the "all replicas of a block
 // are gone" condition the workflow treats as a staging failure.
 func (p *Pool) GetBlocks(varName string, version int, region grid.Box) ([]*field.BoxData, error) {
+	varName, serr := p.scoped(varName)
+	if serr != nil {
+		return nil, serr
+	}
 	var out []*field.BoxData
 	if p.conc > 1 {
 		blocks, err := p.getBlocksConcurrent(varName, version, region)
@@ -1069,6 +1119,10 @@ func shardLostErr(shard int, lastErr error) error {
 // is best-effort: down endpoints are skipped (a crashed server's state is
 // gone or stale anyway, and rejoin repair only restores live versions).
 func (p *Pool) DropBefore(varName string, version int) (int64, error) {
+	varName, err := p.scoped(varName)
+	if err != nil {
+		return 0, err
+	}
 	if p.conc > 1 {
 		return p.dropBeforeConcurrent(varName, version)
 	}

@@ -61,18 +61,22 @@ func key(varName string, version int) string {
 	return fmt.Sprintf("%s@%d", varName, version)
 }
 
-func (s *server) put(o *Object) error {
+// put stores o and reports what it actually booked — the byte delta and
+// the object-count delta — so the space can settle a tenant's pessimistic
+// quota reservation to the real cost (a replacement's delta, a merged
+// repair's zero, a full release on error).
+func (s *server) put(o *Object) (delta int64, added int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sz := o.Data.Bytes()
 	k := key(o.Var, o.Version)
-	replace := func(i int, old *Object) error {
+	replace := func(i int, old *Object) (int64, int, error) {
 		if s.capacity > 0 && s.memUsed-old.Data.Bytes()+sz > s.capacity {
-			return ErrNoMemory
+			return 0, 0, ErrNoMemory
 		}
 		s.memUsed += sz - old.Data.Bytes()
 		s.objects[k][i] = o
-		return nil
+		return sz - old.Data.Bytes(), 0, nil
 	}
 	// A sequenced put replaces the object with the same sequence number: a
 	// client replaying a put whose response was lost must not duplicate
@@ -108,16 +112,16 @@ func (s *server) put(o *Object) error {
 	if isRepairSeq(o.Seq) {
 		for _, old := range s.objects[k] {
 			if old.Data.Equal(o.Data) {
-				return nil
+				return 0, 0, nil
 			}
 		}
 	}
 	if s.capacity > 0 && s.memUsed+sz > s.capacity {
-		return ErrNoMemory
+		return 0, 0, ErrNoMemory
 	}
 	s.objects[k] = append(s.objects[k], o)
 	s.memUsed += sz
-	return nil
+	return sz, 1, nil
 }
 
 func (s *server) query(varName string, version int, region grid.Box) []*Object {
@@ -132,10 +136,9 @@ func (s *server) query(varName string, version int, region grid.Box) []*Object {
 	return out
 }
 
-func (s *server) dropBefore(varName string, version int) int64 {
+func (s *server) dropBefore(varName string, version int) (freed int64, blocks int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var freed int64
 	for k, objs := range s.objects {
 		if len(objs) == 0 || objs[0].Var != varName || objs[0].Version >= version {
 			continue
@@ -143,17 +146,32 @@ func (s *server) dropBefore(varName string, version int) int64 {
 		for _, o := range objs {
 			freed += o.Data.Bytes()
 		}
+		blocks += len(objs)
 		delete(s.objects, k)
 	}
 	s.memUsed -= freed
-	return freed
+	return freed, blocks
 }
 
 // Space is the staging service: a set of server shards over a global
-// domain.
+// domain. Tenant-qualified variables (see TenantVar) are additionally
+// accounted per tenant, and SetTenantQuota caps what one tenant may hold
+// across the space's shards.
 type Space struct {
 	domain  grid.Box
 	servers []*server
+
+	// Per-tenant accounting spans shards, so it lives above them: quota
+	// admission is a check-then-reserve under one mutex, settled to the
+	// shard's actual booking after the put lands (see PutSeq).
+	qmu    sync.Mutex
+	quotas map[string]TenantQuota
+	usage  map[string]*tenantUsage
+}
+
+type tenantUsage struct {
+	bytes  int64
+	blocks int
 }
 
 // NewSpace creates a staging space with nservers shards, each with the
@@ -226,7 +244,76 @@ func (sp *Space) PutSeq(varName string, version int, seq int64, d *field.BoxData
 	if d == nil || d.Box.IsEmpty() {
 		return errors.New("staging: empty block")
 	}
-	return sp.route(d.Box).put(&Object{Var: varName, Version: version, Seq: seq, Data: d})
+	tenant := TenantOf(varName)
+	sz := d.Bytes()
+	if tenant != "" {
+		// Pessimistic reservation: admit as if the put appends a whole new
+		// block, then settle to what the shard actually booked (zero for a
+		// merged repair, the delta for an idempotent-retry replacement).
+		if err := sp.reserveTenant(tenant, sz); err != nil {
+			return err
+		}
+	}
+	delta, added, err := sp.route(d.Box).put(&Object{Var: varName, Version: version, Seq: seq, Data: d})
+	if tenant != "" {
+		sp.adjustTenant(tenant, delta-sz, added-1)
+	}
+	return err
+}
+
+// reserveTenant admits one prospective block of sz bytes against the
+// tenant's quota and books it. ErrQuotaExceeded leaves usage untouched.
+func (sp *Space) reserveTenant(tenant string, sz int64) error {
+	sp.qmu.Lock()
+	defer sp.qmu.Unlock()
+	u := sp.usage[tenant]
+	if u == nil {
+		if sp.usage == nil {
+			sp.usage = make(map[string]*tenantUsage)
+		}
+		u = &tenantUsage{}
+		sp.usage[tenant] = u
+	}
+	if q, ok := sp.quotas[tenant]; ok {
+		if (q.MaxBytes > 0 && u.bytes+sz > q.MaxBytes) ||
+			(q.MaxBlocks > 0 && u.blocks+1 > q.MaxBlocks) {
+			return ErrQuotaExceeded
+		}
+	}
+	u.bytes += sz
+	u.blocks++
+	return nil
+}
+
+func (sp *Space) adjustTenant(tenant string, bytes int64, blocks int) {
+	sp.qmu.Lock()
+	defer sp.qmu.Unlock()
+	if u := sp.usage[tenant]; u != nil {
+		u.bytes += bytes
+		u.blocks += blocks
+	}
+}
+
+// SetTenantQuota caps what tenant may hold across all shards. A zero
+// MaxBytes (or MaxBlocks) leaves that dimension unlimited; setting the
+// zero TenantQuota removes the cap but keeps the accounting.
+func (sp *Space) SetTenantQuota(tenant string, q TenantQuota) {
+	sp.qmu.Lock()
+	defer sp.qmu.Unlock()
+	if sp.quotas == nil {
+		sp.quotas = make(map[string]TenantQuota)
+	}
+	sp.quotas[tenant] = q
+}
+
+// TenantUsage reports the bytes and blocks currently booked to tenant.
+func (sp *Space) TenantUsage(tenant string) (bytes int64, blocks int) {
+	sp.qmu.Lock()
+	defer sp.qmu.Unlock()
+	if u := sp.usage[tenant]; u != nil {
+		return u.bytes, u.blocks
+	}
+	return 0, 0
 }
 
 // PutAsync stores a block in the background, delivering the result on the
@@ -304,6 +391,9 @@ func (sp *Space) Clear() {
 		s.memUsed = 0
 		s.mu.Unlock()
 	}
+	sp.qmu.Lock()
+	sp.usage = nil
+	sp.qmu.Unlock()
 }
 
 // DropBefore evicts every block of varName with version < version,
@@ -311,8 +401,14 @@ func (sp *Space) Clear() {
 // been fully analyzed.
 func (sp *Space) DropBefore(varName string, version int) int64 {
 	var freed int64
+	var blocks int
 	for _, s := range sp.servers {
-		freed += s.dropBefore(varName, version)
+		f, n := s.dropBefore(varName, version)
+		freed += f
+		blocks += n
+	}
+	if tenant := TenantOf(varName); tenant != "" && blocks > 0 {
+		sp.adjustTenant(tenant, -freed, -blocks)
 	}
 	return freed
 }

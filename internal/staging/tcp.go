@@ -72,6 +72,7 @@ const (
 	statusNotFound = 1
 	statusNoMemory = 2
 	statusBad      = 3
+	statusQuota    = 4
 )
 
 // traceExtSize is the wire size of the trace-context extension.
@@ -109,11 +110,41 @@ var ErrProtocol = errors.New("staging: protocol error")
 // placement signal and falls back to in-situ analysis.
 var ErrStagingUnavailable = errors.New("staging: service unavailable")
 
+// ServerOptions tunes a staging server's admission control. The zero value
+// preserves the historical behavior: every connection is accepted and
+// served immediately, with no bound.
+type ServerOptions struct {
+	// MaxConns caps the connections served concurrently (≤0 = unlimited).
+	MaxConns int
+
+	// Backlog bounds the accept backlog: connections accepted while all
+	// MaxConns slots are busy park here until a slot frees. A connection
+	// arriving with the backlog full is shed — closed immediately with a
+	// deterministic refuse-with-reason event. Ignored when MaxConns ≤ 0.
+	Backlog int
+
+	// Events, when set, receives one structured event per shed connection
+	// and per quota-rejected put (attributed by tenant).
+	Events *obs.Emitter
+}
+
 // Server serves a Space over TCP.
 type Server struct {
 	space *Space
 	ln    net.Listener
 	wg    sync.WaitGroup
+	opts  ServerOptions
+
+	// Admission control (nil slots = unlimited): a connection is served
+	// only while holding a slot; the dispatcher drains the backlog as
+	// handlers release slots.
+	slots   chan struct{}
+	backlog chan net.Conn
+	done    chan struct{}
+
+	// Admission and quota tallies, live regardless of Observe so harnesses
+	// can reconcile them against event streams and metrics.
+	nAdmitted, nQueued, nShed, nQuota atomic.Int64
 
 	metrics atomic.Pointer[serverMetrics]
 	tracer  atomic.Pointer[span.Tracer]
@@ -128,6 +159,10 @@ type serverMetrics struct {
 	reqPut, reqGet, reqDrop, reqStat, reqOther *obs.Counter
 	bytesIn, bytesOut                          *obs.Counter
 	activeConns                                *obs.Gauge
+
+	admAdmitted, admQueued              *obs.Counter
+	admShedMaxConns, admShedBacklogFull *obs.Counter
+	quotaRejected                       *obs.Counter
 }
 
 // count tallies one decoded request by op.
@@ -169,6 +204,16 @@ func (s *Server) Observe(reg *obs.Registry) {
 		activeConns: reg.Gauge("xlayer_staging_server_active_conns",
 			"Client connections currently being served."),
 	}
+	const shedName = "xlayer_staging_admission_shed_total"
+	const shedHelp = "Connections refused by admission control, by reason."
+	m.admAdmitted = reg.Counter("xlayer_staging_admission_admitted_total",
+		"Connections admitted for service by the staging server.")
+	m.admQueued = reg.Counter("xlayer_staging_admission_queued_total",
+		"Connections parked in the bounded accept backlog.")
+	m.admShedMaxConns = reg.Counter(shedName, shedHelp, "reason", "max_conns")
+	m.admShedBacklogFull = reg.Counter(shedName, shedHelp, "reason", "backlog_full")
+	m.quotaRejected = reg.Counter("xlayer_staging_admission_quota_rejected_total",
+		"Puts rejected server-side by a tenant byte/block quota.")
 	s.metrics.Store(m)
 }
 
@@ -204,17 +249,46 @@ func (c *countingConn) Write(b []byte) (int, error) {
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by space.
 func Serve(addr string, space *Space) (*Server, error) {
+	return ServeOptions(addr, space, ServerOptions{})
+}
+
+// ServeOptions starts a server on addr with explicit admission options.
+func ServeOptions(addr string, space *Space, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return ServeOn(ln, space), nil
+	return ServeOnOptions(ln, space, opts), nil
 }
 
 // ServeOn starts a server on an existing listener — the hook fault-injection
 // harnesses use to interpose a wrapped listener (e.g. faultnet.Listen).
 func ServeOn(ln net.Listener, space *Space) *Server {
-	s := &Server{space: space, ln: ln, conns: make(map[net.Conn]struct{})}
+	return ServeOnOptions(ln, space, ServerOptions{})
+}
+
+// ServeOnOptions starts a server on an existing listener with explicit
+// admission options.
+func ServeOnOptions(ln net.Listener, space *Space, opts ServerOptions) *Server {
+	s := &Server{
+		space: space,
+		ln:    ln,
+		opts:  opts,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	if opts.MaxConns > 0 {
+		s.slots = make(chan struct{}, opts.MaxConns)
+		// Backlog <= 0 means no queue at all: skip the dispatcher so
+		// admission is a pure slot-or-shed decision. (A dispatcher parked on
+		// an unbuffered channel would still accept one in-flight handoff,
+		// silently granting a queue of one.)
+		if opts.Backlog > 0 {
+			s.backlog = make(chan net.Conn, opts.Backlog)
+			s.wg.Add(1)
+			go s.dispatchLoop()
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -223,23 +297,38 @@ func ServeOn(ln net.Listener, space *Space) *Server {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections, severs in-flight ones, and waits for
-// every handler goroutine to exit. A handler blocked mid-request cannot
-// outlive Close: its connection is closed under it.
+// Close stops accepting connections, severs in-flight ones, drains the
+// accept backlog, and waits for every handler goroutine to exit. A handler
+// blocked mid-request cannot outlive Close: its connection is closed under
+// it. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	close(s.done)
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// AdmissionStats reports the server's cumulative admission tallies:
+// connections admitted for service, connections that waited in the accept
+// backlog, connections shed, and puts rejected by tenant quota. The
+// counters are live independent of Observe, so harnesses can reconcile
+// them against emitted events and registered metrics exactly.
+func (s *Server) AdmissionStats() (admitted, queued, shed, quotaRejected int64) {
+	return s.nAdmitted.Load(), s.nQueued.Load(), s.nShed.Load(), s.nQuota.Load()
 }
 
 // track registers conn for Close-time severing; it reports false when the
@@ -273,24 +362,134 @@ func (s *Server) acceptLoop() {
 			}
 			continue // transient accept error
 		}
-		if !s.track(conn) {
+		s.admit(conn)
+	}
+}
+
+// admit routes one accepted connection through admission control: serve
+// immediately while a slot is free, park in the bounded backlog while all
+// slots are busy, and shed — close with a refuse-with-reason event — when
+// the backlog is full too. With no MaxConns every connection is served.
+func (s *Server) admit(conn net.Conn) {
+	if s.slots == nil {
+		s.noteAdmitted()
+		s.serveConn(conn)
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.noteAdmitted()
+		s.serveConn(conn)
+		return
+	default:
+	}
+	if s.backlog == nil {
+		s.shed(conn)
+		return
+	}
+	select {
+	case s.backlog <- conn:
+		s.nQueued.Add(1)
+		if m := s.metrics.Load(); m != nil {
+			m.admQueued.Inc()
+		}
+	default:
+		s.shed(conn)
+	}
+}
+
+// dispatchLoop promotes backlogged connections into service as handler
+// slots free up, and drains the backlog on Close.
+func (s *Server) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		var conn net.Conn
+		select {
+		case <-s.done:
+			s.drainBacklog()
+			return
+		case conn = <-s.backlog:
+		}
+		select {
+		case <-s.done:
 			conn.Close()
+			s.drainBacklog()
+			return
+		case s.slots <- struct{}{}:
+			s.noteAdmitted()
+			s.serveConn(conn)
+		}
+	}
+}
+
+// drainBacklog closes every connection still parked at Close time.
+func (s *Server) drainBacklog() {
+	for {
+		select {
+		case c := <-s.backlog:
+			c.Close()
+		default:
 			return
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer s.untrack(conn)
-			defer conn.Close()
-			served := conn
-			if m := s.metrics.Load(); m != nil {
-				m.activeConns.Add(1)
-				defer m.activeConns.Add(-1)
-				served = &countingConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
-			}
-			s.handle(served)
-		}()
 	}
+}
+
+// shed refuses one connection deterministically: close it, bump the shed
+// tallies, and emit the structured refuse-with-reason event.
+func (s *Server) shed(conn net.Conn) {
+	conn.Close()
+	s.nShed.Add(1)
+	reason := "max_conns"
+	if s.opts.Backlog > 0 {
+		reason = "backlog_full"
+	}
+	if m := s.metrics.Load(); m != nil {
+		if reason == "max_conns" {
+			m.admShedMaxConns.Inc()
+		} else {
+			m.admShedBacklogFull.Inc()
+		}
+	}
+	s.opts.Events.AdmissionShed(reason, len(s.slots), len(s.backlog))
+}
+
+func (s *Server) noteAdmitted() {
+	s.nAdmitted.Add(1)
+	if m := s.metrics.Load(); m != nil {
+		m.admAdmitted.Inc()
+	}
+}
+
+// releaseSlot frees the handler slot a served connection held.
+func (s *Server) releaseSlot() {
+	if s.slots != nil {
+		<-s.slots
+	}
+}
+
+// serveConn spawns the handler goroutine for an admitted connection. The
+// caller has already acquired a slot (when admission is on); the handler
+// releases it on exit.
+func (s *Server) serveConn(conn net.Conn) {
+	if !s.track(conn) {
+		conn.Close()
+		s.releaseSlot()
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.releaseSlot()
+		defer s.untrack(conn)
+		defer conn.Close()
+		served := conn
+		if m := s.metrics.Load(); m != nil {
+			m.activeConns.Add(1)
+			defer m.activeConns.Add(-1)
+			served = &countingConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
+		}
+		s.handle(served)
+	}()
 }
 
 // handle serves one connection until EOF or error.
@@ -354,6 +553,16 @@ func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
 	return s.dispatch(op, varName, version, r, w)
 }
 
+// noteQuotaRejected tallies one quota-rejected put and emits the
+// tenant-attributed event.
+func (s *Server) noteQuotaRejected(varName string, bytes int64) {
+	s.nQuota.Add(1)
+	if m := s.metrics.Load(); m != nil {
+		m.quotaRejected.Inc()
+	}
+	s.opts.Events.QuotaRejected(TenantOf(varName), varName, bytes)
+}
+
 // opName renders an op byte for span names.
 func opName(op byte) string {
 	switch op {
@@ -398,6 +607,9 @@ func (s *Server) dispatch(op byte, varName string, version int, r *bufio.Reader,
 			return err
 		}
 		switch err := s.space.PutSeq(varName, version, seq, d); {
+		case errors.Is(err, ErrQuotaExceeded):
+			s.noteQuotaRejected(varName, d.Bytes())
+			return w.WriteByte(statusQuota)
 		case errors.Is(err, ErrNoMemory):
 			return w.WriteByte(statusNoMemory)
 		case err != nil:
@@ -535,11 +747,12 @@ type Client struct {
 	mRetries    *obs.Counter
 	mReconnects *obs.Counter
 
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
-	closed bool
+	mu        sync.Mutex
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	connected bool // a connection has been established at least once
+	closed    bool
 }
 
 // clientSeqSlices hands each client in this process a disjoint 2^32-wide
@@ -595,6 +808,7 @@ func (c *Client) attach(conn net.Conn) {
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
 	c.w = bufio.NewWriter(conn)
+	c.connected = true
 }
 
 // dropConnLocked severs the current connection after a failure so the next
@@ -670,7 +884,7 @@ func errDetail(err error) string {
 // do runs op under the retry policy: each attempt gets a fresh per-op
 // deadline; any transport or protocol error drops the connection, backs
 // off, re-dials and replays. Application-level results (nil, ErrNotFound,
-// ErrNoMemory) end the loop immediately. When the budget is exhausted the
+// ErrNoMemory, ErrQuotaExceeded) end the loop immediately. When the budget is exhausted the
 // last error is wrapped in ErrStagingUnavailable.
 func (c *Client) do(op func() error) error {
 	c.mu.Lock()
@@ -700,14 +914,21 @@ func (c *Client) do(op func() error) error {
 				lastErr = err
 				continue
 			}
+			// A lazily-built client's first successful dial is an initial
+			// connection, not a re-dial: only count a reconnect when a
+			// previously established connection was lost.
+			redial := c.connected
 			c.attach(conn)
-			c.reconnects.Add(1)
-			c.mReconnects.Inc()
-			c.opts.Events.StagingReconnect()
+			if redial {
+				c.reconnects.Add(1)
+				c.mReconnects.Inc()
+				c.opts.Events.StagingReconnect()
+			}
 		}
 		c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
 		err := op()
-		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrNoMemory) {
+		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrNoMemory) ||
+			errors.Is(err, ErrQuotaExceeded) {
 			c.conn.SetDeadline(time.Time{})
 			return err
 		}
@@ -794,6 +1015,8 @@ func (c *Client) put(varName string, version int, seq int64, d *field.BoxData) e
 		return nil
 	case statusNoMemory:
 		return ErrNoMemory
+	case statusQuota:
+		return ErrQuotaExceeded
 	default:
 		return fmt.Errorf("%w: put status %d", ErrProtocol, st)
 	}
