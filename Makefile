@@ -34,12 +34,18 @@ race:
 # (decode∘encode identity); the span-log golden test runs under `race`.
 # FuzzTenantKey pins the tenant-namespace codec: hostile tenant ids are
 # rejected, never mangled into another tenant's key space.
+# FuzzStagingWAL / FuzzStagingSnapshot hammer the durability layer's
+# recovery scanners with hostile and truncated images: accepted inputs
+# must satisfy the recover∘replay identity, everything else is rejected
+# without panicking.
 fuzz:
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzDecodeBlock -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzReadRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzPoolManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzSpanWireHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzTenantKey -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzStagingWAL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staging -run '^$$' -fuzz FuzzStagingSnapshot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzSpecParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/journal -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME)
 

@@ -37,6 +37,9 @@ func runChaos(o chaosOpts) error {
 		for _, v := range rr.Violations {
 			fmt.Println(" ", v)
 		}
+		if rr.DataDir != "" {
+			fmt.Printf("  offending staging data dirs preserved under %s\n", rr.DataDir)
+		}
 		return fmt.Errorf("%d invariant violation(s)", len(rr.Violations))
 	}
 
@@ -57,13 +60,17 @@ func runChaos(o chaosOpts) error {
 			return err
 		}
 	} else {
-		fmt.Printf("chaos: %d schedules, %d replay-checked, %d durability-armed, %d crash-resumed (%d resume-checked), %d degraded steps, %d violating\n",
-			rep.Schedules, rep.ReplayChecked, rep.DurabilityChecked, rep.CrashResumes, rep.ResumeChecked, rep.DegradedSteps, len(rep.Failures))
+		fmt.Printf("chaos: %d schedules, %d replay-checked, %d durability-armed, %d crash-resumed (%d resume-checked), %d restarted (%d recovered), %d degraded steps, %d violating\n",
+			rep.Schedules, rep.ReplayChecked, rep.DurabilityChecked, rep.CrashResumes, rep.ResumeChecked,
+			rep.Restarts, rep.RecoveredRestarts, rep.DegradedSteps, len(rep.Failures))
 		for _, f := range rep.Failures {
 			fmt.Printf("  seed %d: %s\n", f.Schedule.Seed, f.Violations[0])
 			fmt.Printf("    shrunk to steps=%d servers=%d faults=%d", f.Shrunk.Steps, f.Shrunk.Servers, f.Shrunk.FaultCount())
 			if f.ReproPath != "" {
 				fmt.Printf(" → %s", f.ReproPath)
+			}
+			if f.DataPath != "" {
+				fmt.Printf(" (data: %s)", f.DataPath)
 			}
 			fmt.Println()
 		}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -72,11 +73,16 @@ type serveOpts struct {
 	quotaBytes        int64
 	quotaBlocks       int
 	quotaTenants      string
+	dataDir           string
 }
 
 // runServe stands up N staging servers with the configured admission caps
 // and blocks until SIGINT/SIGTERM. Addresses are printed one per line so a
-// remote pool (or another xlayer process) can be pointed at them.
+// remote pool (or another xlayer process) can be pointed at them. With
+// -data-dir each server is durable: it recovers its space from
+// <dir>/server-<i> on start, fsyncs every put before acking, and the
+// shutdown signal drains in-flight handlers and flushes the WALs before
+// the process exits 0 — a kill -9 instead loses nothing acked.
 func runServe(o serveOpts) error {
 	if o.servers < 1 {
 		o.servers = 1
@@ -117,10 +123,30 @@ func runServe(o serveOpts) error {
 				MaxBytes: o.quotaBytes, MaxBlocks: o.quotaBlocks,
 			})
 		}
-		servers = append(servers, staging.ServeOnOptions(ln, space, staging.ServerOptions{
+		opts := staging.ServerOptions{
 			MaxConns: o.maxConns,
 			Backlog:  o.backlog,
-		}))
+		}
+		if o.dataDir != "" {
+			dir := filepath.Join(o.dataDir, fmt.Sprintf("server-%d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				ln.Close()
+				return fmt.Errorf("serve: data dir: %w", err)
+			}
+			opts.DataDir = dir
+			opts.ServerID = fmt.Sprintf("s%d", i)
+			srv, err := staging.NewServer(ln, space, opts)
+			if err != nil {
+				return fmt.Errorf("serve: recover %s: %w", dir, err)
+			}
+			if rs := srv.RecoverStats(); rs != nil {
+				fmt.Fprintf(os.Stderr, "server %d: recovered %d blocks (%d bytes) from %s (snapshot=%d wal=%d torn_tail=%v)\n",
+					i, rs.Blocks, rs.Bytes, dir, rs.SnapshotBlocks, rs.WALRecords, rs.TornTail)
+			}
+			servers = append(servers, srv)
+		} else {
+			servers = append(servers, staging.ServeOnOptions(ln, space, opts))
+		}
 		fmt.Println(ln.Addr().String())
 	}
 	fmt.Fprintf(os.Stderr, "serving %d staging server(s); max_conns=%d backlog=%d; ^C to stop\n",
@@ -129,6 +155,14 @@ func runServe(o serveOpts) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful shutdown: drain in-flight handlers, flush + fsync every WAL,
+	// then report and exit 0. Shutdown is idempotent with the deferred
+	// Close, which becomes a no-op for already-shut servers.
+	for _, s := range servers {
+		if err := s.Shutdown(); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+	}
 	for _, s := range servers {
 		admitted, queued, shed, quota := s.AdmissionStats()
 		fmt.Fprintf(os.Stderr, "admission: admitted=%d queued=%d shed=%d quota_rejected=%d\n",

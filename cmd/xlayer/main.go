@@ -48,6 +48,7 @@ func main() {
 	stagingReplicas := fs.Int("staging-replicas", 1, "replicate each block to K pool servers (run mode; needs -staging-servers >= K)")
 	stagingKill := fs.String("staging-kill", "", "crash one pool server mid-run, e.g. server=1,at=3,revive=6 (run mode; needs -staging-servers > 1)")
 	stagingConc := fs.Int("staging-concurrency", 0, "in-flight staging ops per step; >1 enables the parallel data path (run mode; needs -staging-servers > 1)")
+	stagingDataDir := fs.String("staging-data-dir", "", "persist each staging server's space under this directory (WAL + snapshots); a rerun recovers from it (run mode; implies -staging-tcp)")
 	fault := fs.String("fault", "", "fault plan for the TCP staging path, e.g. seed=42,refuse=-1 (run mode; implies -staging-tcp)")
 	journalPath := fs.String("journal", "", "write-ahead journal every step barrier to this file; the run becomes resumable after a kill (run mode)")
 	resumeRun := fs.Bool("resume", false, "resume the journaled run in -journal from its last completed step instead of starting fresh (run mode)")
@@ -75,6 +76,7 @@ func main() {
 	serveAddr := fs.String("addr", "127.0.0.1:0", "listen address; port 0 picks free ports (serve mode)")
 	serveQuotaTenants := fs.String("quota-tenants", "", "comma-separated tenant ids the quota flags apply to (serve mode)")
 	serveDomainEdge := fs.Int("domain-edge", 32, "cubic domain edge anchoring the space's shard routing (serve mode)")
+	serveDataDir := fs.String("data-dir", "", "durable data directory: each server recovers its space from <dir>/server-<i> on start and fsyncs acked puts (serve mode)")
 	chaosSeeds := fs.Int("seeds", 25, "seeded fault schedules to explore (chaos mode)")
 	chaosStartSeed := fs.Int64("start-seed", 0, "first seed of the sweep (chaos mode)")
 	chaosReplay := fs.String("replay", "", "replay this shrunk repro file instead of sweeping (chaos mode)")
@@ -126,11 +128,14 @@ func main() {
 			stagingTCP: *stagingTCP, fault: *fault,
 			stagingServers: *stagingServers, stagingReplicas: *stagingReplicas,
 			stagingKill: *stagingKill, stagingConcurrency: *stagingConc,
-			eventsPath: *eventsPath, metricsAddr: *metricsAddr,
+			stagingDataDir: *stagingDataDir,
+			eventsPath:     *eventsPath, metricsAddr: *metricsAddr,
 			spansPath: *spansPath,
 		}
 		var err error
-		if *journalPath != "" || *resumeRun || *haltAfter >= 0 {
+		// Durable staging builds through the spec layer (like journaled
+		// runs) so recovery has one implementation.
+		if *journalPath != "" || *resumeRun || *haltAfter >= 0 || *stagingDataDir != "" {
 			err = runJournaled(o, *journalPath, *resumeRun, *haltAfter)
 		} else {
 			err = runWorkflow(o)
@@ -194,6 +199,7 @@ func main() {
 			domainEdge: *serveDomainEdge,
 			quotaBytes: *lgQuotaBytes, quotaBlocks: *lgQuotaBlocks,
 			quotaTenants: *serveQuotaTenants,
+			dataDir:      *serveDataDir,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "xlayer:", err)
 			os.Exit(1)
@@ -228,6 +234,7 @@ run flags: -app gas|advdiff  -placement adaptive|insitu|intransit
            -staging-tcp  -fault PLAN (e.g. seed=42,refuse=-1,corrupt=0.01)
            -staging-servers N  -staging-replicas K  -staging-kill server=1,at=3,revive=6
            -staging-concurrency C (parallel staging data path; needs -staging-servers > 1)
+           -staging-data-dir DIR (durable staging: per-server WAL + snapshots; reruns recover)
            -events FILE (structured event stream)  -spans FILE (causal span log)
            -metrics-addr ADDR (Prometheus)
            -journal FILE (write-ahead step journal; makes the run resumable)
@@ -244,7 +251,8 @@ loadgen:   xlayer loadgen [-tenants K] [-steps N] [-servers N] [-replicas K] [-s
            [-max-conns N] [-backlog N] [-quota-bytes B] [-quota-blocks N]
            [-log-dir DIR] [-out report.json] [-short]
 serve:     xlayer serve [-addr HOST:PORT] [-servers N] [-max-conns N] [-backlog N]
-           [-quota-tenants t0,t1 -quota-bytes B] [-domain-edge N]`)
+           [-quota-tenants t0,t1 -quota-bytes B] [-domain-edge N]
+           [-data-dir DIR]  (durable spaces; SIGTERM drains, fsyncs and exits 0)`)
 }
 
 // runSpec executes a declarative workflow specification. A spec with
@@ -336,10 +344,11 @@ func specFromRunOpts(o runOpts, journalPath string, resume bool) (*spec.Workflow
 		Steps:     steps,
 		Factors:   []int{2, 4},
 
-		StagingTCP:         o.stagingTCP || o.stagingServers > 1 || o.fault != "",
+		StagingTCP:         o.stagingTCP || o.stagingServers > 1 || o.fault != "" || o.stagingDataDir != "",
 		StagingServers:     o.stagingServers,
 		StagingReplicas:    o.stagingReplicas,
 		StagingConcurrency: o.stagingConcurrency,
+		StagingDataDir:     o.stagingDataDir,
 
 		Events: o.eventsPath, Spans: o.spansPath, MetricsAddr: o.metricsAddr,
 		Journal: journalPath, Resume: resume,
@@ -435,8 +444,15 @@ func runJournaled(o runOpts, journalPath string, resume bool, haltAfter int) err
 		fmt.Fprintf(os.Stderr, "xlayer: resume audit: %d manifest blocks missing from the pool\n", missing)
 	}
 
-	fmt.Printf("%s | %s placement | objective %s | %d steps | journal %s\n",
-		sim.Name(), o.placement, o.objective, steps, journalPath)
+	tail := ""
+	if journalPath != "" {
+		tail = " | journal " + journalPath
+	}
+	if o.stagingDataDir != "" {
+		tail += " | data " + o.stagingDataDir
+	}
+	fmt.Printf("%s | %s placement | objective %s | %d steps%s\n",
+		sim.Name(), o.placement, o.objective, steps, tail)
 	fmt.Printf("simulation time: %.2fs   end-to-end: %.2fs   overhead: %.2fs\n",
 		res.SimSecondsTotal, res.EndToEnd, res.OverheadSeconds)
 	fmt.Printf("placements: %d in-situ, %d in-transit   data moved: %.2f GB\n",
@@ -490,6 +506,7 @@ type runOpts struct {
 	stagingServers, stagingReplicas int
 	stagingKill                     string
 	stagingConcurrency              int
+	stagingDataDir                  string
 	eventsPath, metricsAddr         string
 	spansPath                       string
 }

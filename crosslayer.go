@@ -428,8 +428,17 @@ type (
 	// StagingSpace; the zero value is unlimited.
 	StagingTenantQuota = staging.TenantQuota
 	// StagingServerOptions sets a server's admission caps (MaxConns,
-	// bounded accept Backlog) and its structured event emitter.
+	// bounded accept Backlog), its structured event emitter, and — via
+	// DataDir/ServerID — the durable WAL+snapshot store behind
+	// NewStagingServer.
 	StagingServerOptions = staging.ServerOptions
+	// StagingRecoverStats summarizes one disk-recovery pass: blocks and
+	// bytes restored, snapshot vs WAL provenance, and whether a torn WAL
+	// tail was truncated.
+	StagingRecoverStats = staging.RecoverStats
+	// StagingWALStats reports a durable space's WAL activity: records and
+	// bytes appended, fsyncs, compaction snapshots, and the current epoch.
+	StagingWALStats = staging.WALStats
 	// LoadgenOptions tunes the multi-tenant load harness.
 	LoadgenOptions = loadgen.Options
 	// LoadgenRecord is one line of a tenant's deterministic step log.
@@ -475,6 +484,16 @@ func ServeStagingOptions(addr string, space *StagingSpace, opts StagingServerOpt
 // with explicit admission options.
 func ServeStagingOnOptions(ln net.Listener, space *StagingSpace, opts StagingServerOptions) *StagingServer {
 	return staging.ServeOnOptions(ln, space, opts)
+}
+
+// NewStagingServer starts a staging server on an existing listener and,
+// when opts.DataDir is set, makes its space durable first: the space is
+// recovered from the directory's snapshot + WAL before the listener serves
+// a single request, every subsequent acked put is fsynced to the WAL, and
+// Shutdown flushes and closes the log. The recovery outcome is readable
+// via the server's RecoverStats method.
+func NewStagingServer(ln net.Listener, space *StagingSpace, opts StagingServerOptions) (*StagingServer, error) {
+	return staging.NewServer(ln, space, opts)
 }
 
 // RunLoadgen drives K seeded tenant workflows closed-loop against a shared
@@ -702,6 +721,10 @@ type (
 	ChaosRunResult = chaos.RunResult
 	// ChaosViolation is one invariant breach.
 	ChaosViolation = chaos.Violation
+	// ChaosRestart schedules one durable-server restart: the server is
+	// hard-killed at a step barrier and brought back over its own data dir
+	// (Recover) or a wiped one (rejoin-repair only).
+	ChaosRestart = chaos.Restart
 )
 
 // GenerateChaosSchedule derives a fault schedule from a seed (a pure

@@ -31,6 +31,7 @@ func Verify(s Schedule) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		golden.DiscardData()
 		if !bytes.Equal(first.EventLog, golden.EventLog) {
 			line, a, b := firstDivergence(first.EventLog, golden.EventLog)
 			first.Violations = append(first.Violations, Violation{
@@ -65,6 +66,7 @@ func Verify(s Schedule) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	second.DiscardData()
 	if !bytes.Equal(first.EventLog, second.EventLog) {
 		line, a, b := firstDivergence(first.EventLog, second.EventLog)
 		first.Violations = append(first.Violations, Violation{
@@ -191,6 +193,11 @@ type Failure struct {
 	Shrunk           Schedule    `json:"shrunk"`
 	ShrunkViolations []Violation `json:"shrunk_violations"`
 	ReproPath        string      `json:"repro_path,omitempty"`
+
+	// DataPath is the preserved data-dir root of the shrunk repro — the
+	// offending WALs and snapshots — set only when the shrunk schedule
+	// still restarts servers and OutDir captured the artifact.
+	DataPath string `json:"data_path,omitempty"`
 }
 
 // Report summarizes an exploration sweep.
@@ -200,6 +207,8 @@ type Report struct {
 	DurabilityChecked int       `json:"durability_checked"`
 	CrashResumes      int       `json:"crash_resumes"`
 	ResumeChecked     int       `json:"resume_checked"`
+	Restarts          int       `json:"restarts"`
+	RecoveredRestarts int       `json:"recovered_restarts"`
 	DegradedSteps     int       `json:"degraded_steps"`
 	Failures          []Failure `json:"failures,omitempty"`
 }
@@ -241,6 +250,15 @@ func Explore(opts Options) (*Report, error) {
 		if s.ResumeComparable() {
 			rep.ResumeChecked++
 		}
+		if len(s.Restarts) > 0 {
+			rep.Restarts++
+			for _, r := range s.Restarts {
+				if r.Recover {
+					rep.RecoveredRestarts++
+					break
+				}
+			}
+		}
 		if rr.DurabilityChecked {
 			rep.DurabilityChecked++
 		}
@@ -255,6 +273,7 @@ func Explore(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: seed %d shrink: %w", seed, err)
 		}
+		rr.DiscardData() // the shrunk repro regenerates the disk artifact below
 		f := Failure{Schedule: s, Violations: rr.Violations, Shrunk: shrunk, ShrunkViolations: sv}
 		if opts.OutDir != "" {
 			if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
@@ -266,6 +285,22 @@ func Explore(opts Options) (*Report, error) {
 				return nil, err
 			}
 			logf("seed %-4d shrunk to %d faults / %d steps → %s", seed, shrunk.FaultCount(), shrunk.Steps, f.ReproPath)
+			// The offending disk state rides along with the repro JSON: one
+			// extra deterministic run of the shrunk schedule regenerates the
+			// data dirs it violated over, moved (or, across filesystems,
+			// left in place) next to the repro file.
+			if len(shrunk.Restarts) > 0 {
+				if rrd, derr := Run(shrunk); derr == nil && rrd.DataDir != "" {
+					dst := filepath.Join(opts.OutDir, fmt.Sprintf("repro_%s_seed%d_data", sv[0].Invariant, seed))
+					os.RemoveAll(dst)
+					if err := os.Rename(rrd.DataDir, dst); err == nil {
+						f.DataPath = dst
+					} else {
+						f.DataPath = rrd.DataDir
+					}
+					logf("seed %-4d offending data dirs → %s", seed, f.DataPath)
+				}
+			}
 		} else {
 			logf("seed %-4d shrunk to %d faults / %d steps", seed, shrunk.FaultCount(), shrunk.Steps)
 		}
@@ -282,6 +317,12 @@ func truncateSteps(s Schedule, steps int) Schedule {
 	for _, k := range s.Kills {
 		if k.At < steps {
 			out.Kills = append(out.Kills, k)
+		}
+	}
+	out.Restarts = nil
+	for _, r := range s.Restarts {
+		if r.At < steps {
+			out.Restarts = append(out.Restarts, r)
 		}
 	}
 	if s.Wipe != nil && s.Wipe.At >= steps {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -62,6 +64,23 @@ type RunResult struct {
 	// some shard's full replica set was simultaneously dead, or an
 	// error-producing network plan can fail the audit's own reads).
 	DurabilityChecked bool
+
+	// DataDir is the temp root holding every server's WAL and snapshot
+	// files, set only when a restart schedule violated — the offending disk
+	// state is part of the bug report. Clean runs remove it before
+	// returning. The caller owns the preserved root; DiscardData is the
+	// one-call cleanup.
+	DataDir string
+}
+
+// DiscardData removes the preserved data-dir root of a violating restart
+// run. Safe on nil results and runs that kept nothing.
+func (r *RunResult) DiscardData() {
+	if r == nil || r.DataDir == "" {
+		return
+	}
+	os.RemoveAll(r.DataDir)
+	r.DataDir = ""
 }
 
 // plan converts the schedule's network fault to a faultnet plan.
@@ -178,6 +197,7 @@ type harness struct {
 	spaces      []*staging.Space
 	servers     []*staging.Server
 	srvEvents   *kindTally
+	srvEm       *obs.Emitter
 	tally       *tallySink
 	tallies     []*tallySink
 	reg         *obs.Registry
@@ -200,6 +220,13 @@ type harness struct {
 	// shard was dataDead at the same time: from then on missing blocks are
 	// legitimate and the durability audit stops.
 	lossArmed bool
+
+	// dataRoot/dataDirs are the durable shape's disk layout (restart
+	// schedules only): one temp root, one subdir per server. faultErr holds
+	// the first restart I/O failure — a harness failure, not a violation.
+	dataRoot string
+	dataDirs []string
+	faultErr error
 
 	lastFailStep  int  // most recent staging_failure step, -1 before any
 	durabilityHit bool // durability reported once per run
@@ -226,6 +253,9 @@ func traceSeedOf(s Schedule) string {
 	// their trace identities (and their journal fingerprints) byte for byte.
 	if s.Tenants == 2 {
 		seed += fmt.Sprintf("/tenants=%d", s.Tenants)
+	}
+	if len(s.Restarts) > 0 {
+		seed += fmt.Sprintf("/restarts=%d", len(s.Restarts))
 	}
 	return seed
 }
@@ -265,13 +295,32 @@ func Run(s Schedule) (*RunResult, error) {
 	// a driver's event stream.
 	srvReg := obs.NewRegistry()
 	h.srvEvents = &kindTally{}
-	srvEm := obs.NewEmitter(h.srvEvents)
+	h.srvEm = obs.NewEmitter(h.srvEvents)
 	var servers []io.Closer
 	fail := func(err error) (*RunResult, error) {
 		for _, c := range servers {
 			c.Close()
 		}
+		for _, sp := range h.spaces {
+			if sp.Persisted() {
+				sp.ClosePersist()
+			}
+		}
+		if h.dataRoot != "" {
+			os.RemoveAll(h.dataRoot)
+		}
 		return nil, err
+	}
+	// Durable shape: any schedule with a restart runs every server over its
+	// own data dir from step 0, so a restart can recover whatever the run
+	// accumulated. The dirs live under one temp root, removed on a clean run
+	// and preserved (as RunResult.DataDir) when the run violates.
+	if len(s.Restarts) > 0 {
+		root, err := os.MkdirTemp("", "xlayer-chaos-data-")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: data root: %w", err)
+		}
+		h.dataRoot = root
 	}
 	addrs := make([]string, 0, s.Servers)
 	for i := 0; i < s.Servers; i++ {
@@ -283,12 +332,22 @@ func Run(s Schedule) (*RunResult, error) {
 		if err != nil {
 			return fail(fmt.Errorf("chaos: staging listen: %w", err))
 		}
+		if h.dataRoot != "" {
+			dir := filepath.Join(h.dataRoot, fmt.Sprintf("server-%d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fail(fmt.Errorf("chaos: data dir: %w", err))
+			}
+			h.dataDirs = append(h.dataDirs, dir)
+			if _, err := space.Persist(dir, fmt.Sprintf("s%d", i)); err != nil {
+				return fail(fmt.Errorf("chaos: persist server %d: %w", i, err))
+			}
+		}
 		gate := faultnet.NewGate(ln)
 		var wrapped net.Listener = gate
 		if s.Net != nil {
 			wrapped = faultnet.Listen(wrapped, s.Net.plan())
 		}
-		srv := staging.ServeOnOptions(wrapped, space, staging.ServerOptions{Events: srvEm})
+		srv := staging.ServeOnOptions(wrapped, space, staging.ServerOptions{Events: h.srvEm})
 		srv.Observe(srvReg)
 		addrs = append(addrs, ln.Addr().String())
 		h.gates = append(h.gates, gate)
@@ -324,6 +383,9 @@ func Run(s Schedule) (*RunResult, error) {
 			return fail(err)
 		}
 	}
+	if h.faultErr != nil {
+		return fail(h.faultErr)
+	}
 
 	// Final audit: per-step audits run before that step's faults apply, so
 	// a fault scheduled at the last step (a wipe, in particular) is only
@@ -337,10 +399,25 @@ func Run(s Schedule) (*RunResult, error) {
 	for _, c := range servers {
 		c.Close()
 	}
+	for _, sp := range h.spaces {
+		if sp.Persisted() {
+			if err := sp.ClosePersist(); err != nil {
+				return nil, fmt.Errorf("chaos: close persist: %w", err)
+			}
+		}
+	}
 	h.checkEndOfRun(res)
 	h.checkAdmission(srvReg)
 	h.checkSpanTree(spanBuf.Bytes())
 
+	dataDir := ""
+	if h.dataRoot != "" {
+		if len(h.violations) > 0 {
+			dataDir = h.dataRoot
+		} else {
+			os.RemoveAll(h.dataRoot)
+		}
+	}
 	return &RunResult{
 		Schedule:          s,
 		Violations:        h.violations,
@@ -349,6 +426,7 @@ func Run(s Schedule) (*RunResult, error) {
 		Steps:             res.Steps,
 		DegradedSteps:     countDegraded(res.Steps),
 		DurabilityChecked: durabilityChecked,
+		DataDir:           dataDir,
 	}, nil
 }
 
@@ -598,11 +676,51 @@ func (h *harness) applyFaults(step int) {
 			h.gates[k.Server].Revive()
 		}
 	}
+	for _, r := range h.s.Restarts {
+		if r.At == step {
+			h.restart(r)
+		}
+	}
 	if w := h.s.Wipe; w != nil && w.At == step {
 		// Silent state loss: the space empties but the gate stays up and
 		// dataDead is deliberately NOT set — the audit must catch this.
 		h.spaces[w.Server].Clear()
 	}
+}
+
+// restart hard-kills one durable server at a step barrier and brings it
+// back over its data dir: the gate severs connections, the WAL file
+// descriptor drops without a flush (kill -9 on disk), memory empties — then
+// the server recovers from the dir (Recover) or the dir is discarded and it
+// rejoins empty. The gate reopens only after recovery completes, the way a
+// restarted process only listens once it has replayed its log. Recovery
+// restores the acked pre-restart state exactly, so dataDead is left
+// untouched on the Recover path: whatever the endpoint already owed to
+// rejoin repair it still owes, and the restart itself lost nothing — the
+// durability audit stays armed straight through.
+func (h *harness) restart(r Restart) {
+	ioErr := func(err error) bool {
+		if err != nil && h.faultErr == nil {
+			h.faultErr = fmt.Errorf("chaos: restart server %d: %w", r.Server, err)
+		}
+		return err != nil
+	}
+	h.gates[r.Server].Kill()
+	h.spaces[r.Server].CrashPersist()
+	h.spaces[r.Server].Clear()
+	dir := h.dataDirs[r.Server]
+	if !r.Recover {
+		if ioErr(os.RemoveAll(dir)) || ioErr(os.MkdirAll(dir, 0o755)) {
+			return // gate stays down: the server never came back
+		}
+		h.dataDead[r.Server] = true
+	}
+	stats, err := h.spaces[r.Server].Persist(dir, fmt.Sprintf("s%d", r.Server))
+	if ioErr(err) {
+		return
+	}
+	h.srvEm.StagingRecovery(r.Server, stats.Blocks, stats.Bytes, stats.TornTail)
+	h.gates[r.Server].Revive()
 }
 
 // updateLossArmed disarms the durability audit permanently once any

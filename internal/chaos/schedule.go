@@ -58,6 +58,22 @@ type Crash struct {
 	At int `json:"at"`
 }
 
+// Restart hard-kills one staging server after step At completes and
+// immediately restarts it over the same data dir: the gate severs in-flight
+// connections exactly as a Kill does, the server's WAL file descriptor is
+// dropped without a flush (what kill -9 leaves on disk, torn tail included),
+// and the reborn server recovers before the gate reopens. With Recover true
+// it replays its snapshot and WAL, so every acked put survives and the
+// durability audit stays armed across the restart; with Recover false the
+// data dir is discarded and the server rejoins empty, leaning on rejoin
+// repair like a Kill that revives at the same barrier. Any schedule with a
+// restart runs every server with disk persistence from step 0.
+type Restart struct {
+	Server  int  `json:"server"`
+	At      int  `json:"at"`
+	Recover bool `json:"recover"`
+}
+
 // NetFault is the faultnet plan applied to every staging server's listener:
 // deterministic per-connection latency, byte budgets, and seeded
 // probabilistic corruption, exactly as `xlayer run -fault` wires it.
@@ -125,6 +141,11 @@ type Schedule struct {
 	// Crash kills and resumes the workflow driver mid-run (see Crash).
 	Crash *Crash `json:"crash,omitempty"`
 
+	// Restarts hard-kill staging servers and restart them over their data
+	// dirs (see Restart). Their presence switches every server to durable
+	// mode: a per-space write-ahead log plus snapshot compaction.
+	Restarts []Restart `json:"restarts,omitempty"`
+
 	// Tenants, when 2, runs the multi-tenant shape: the workflow's staging
 	// traffic is scoped to tenant "t0" through a TenantView of the shared
 	// pool while the harness's durability probes write as tenant "t1" — two
@@ -144,7 +165,7 @@ type Schedule struct {
 // FaultCount is the shrinker's size metric: every discrete fault source in
 // the schedule counts one.
 func (s Schedule) FaultCount() int {
-	n := len(s.Kills)
+	n := len(s.Kills) + len(s.Restarts)
 	if s.Net != nil {
 		n++
 	}
@@ -174,8 +195,8 @@ func (s Schedule) DeterministicByContract() bool {
 	if s.Concurrency <= 1 {
 		return true
 	}
-	return len(s.Kills) == 0 && !s.Net.errorProducing() && s.SqueezeBytes == 0 &&
-		s.Wipe == nil && s.Crash == nil
+	return len(s.Kills) == 0 && len(s.Restarts) == 0 && !s.Net.errorProducing() &&
+		s.SqueezeBytes == 0 && s.Wipe == nil && s.Crash == nil
 }
 
 // ResumeComparable reports whether a crash schedule's combined post-resume
@@ -184,8 +205,8 @@ func (s Schedule) DeterministicByContract() bool {
 // state the journal does not carry (a kill's open circuit breakers die with
 // the driver, so the resumed pool legitimately re-detects the endpoint).
 func (s Schedule) ResumeComparable() bool {
-	return s.Crash != nil && s.Concurrency <= 1 &&
-		len(s.Kills) == 0 && s.Wipe == nil && !s.Net.errorProducing()
+	return s.Crash != nil && s.Concurrency <= 1 && len(s.Kills) == 0 &&
+		len(s.Restarts) == 0 && s.Wipe == nil && !s.Net.errorProducing()
 }
 
 // Validate rejects schedules the harness cannot set up.
@@ -219,6 +240,14 @@ func (s Schedule) Validate() error {
 		}
 		if w.At < 0 || w.At >= s.Steps {
 			return fmt.Errorf("chaos: wipe at step %d outside run of %d steps", w.At, s.Steps)
+		}
+	}
+	for _, r := range s.Restarts {
+		if r.Server < 0 || r.Server >= s.Servers {
+			return fmt.Errorf("chaos: restart targets server %d of %d", r.Server, s.Servers)
+		}
+		if r.At < 0 || r.At >= s.Steps {
+			return fmt.Errorf("chaos: restart at step %d outside run of %d steps", r.At, s.Steps)
 		}
 	}
 	if c := s.Crash; c != nil {
@@ -353,6 +382,19 @@ func Generate(seed int64) Schedule {
 		if rng.Intn(2) == 0 {
 			s.QuotaBytes = 256 + rng.Int63n(1<<10)
 		}
+	}
+	// Durable-restart dimension, drawn after every older draw so historical
+	// seeds keep the schedules they generated before the dimension existed.
+	// A quarter of schedules hard-kill one server at a step barrier and
+	// restart it over its own data dir; most recover from disk — the
+	// durability audit stays armed across those — while the rest lose the
+	// dir and rejoin empty, leaning on rejoin repair.
+	if rng.Intn(4) == 0 {
+		s.Restarts = append(s.Restarts, Restart{
+			Server:  rng.Intn(s.Servers),
+			At:      rng.Intn(s.Steps),
+			Recover: rng.Intn(4) != 0,
+		})
 	}
 	return s
 }

@@ -2,7 +2,10 @@
 
 package chaos
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // TestChaosShortSweepRace runs a small seeded exploration sweep under the
 // race detector (`make race` sets the build tag): every schedule exercises
@@ -48,6 +51,53 @@ func TestResumeSoakEveryStepRace(t *testing.T) {
 		}
 		for _, v := range rr.Violations {
 			t.Errorf("crash at %d: %v", at, v)
+		}
+	}
+}
+
+// TestRestartSoakEveryStepRace kill-9-equivalents a durable 3-server /
+// 2-replica pool member at every step barrier in turn and restarts it from
+// its own data dir, under the race detector. Each run must come back with a
+// zero-missing manifest audit (the durability invariant stays armed across
+// the recovered restart), and because recovery restores the acked state
+// exactly — the gate reopens only after the WAL replays — the event log
+// must be byte-identical to a crash-free twin that never restarted anything.
+func TestRestartSoakEveryStepRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart soak skipped in short mode")
+	}
+	const steps = 6
+	base := Schedule{
+		Seed: 700, Steps: steps, Servers: 3, Replicas: 2, Concurrency: 1,
+		App: "polytropic-gas", Objective: "util",
+		Adapt: []string{"application", "middleware", "resource"}, Factors: []int{2, 4},
+	}
+	twin, err := Run(base)
+	if err != nil {
+		t.Fatalf("crash-free twin: %v", err)
+	}
+	twin.DiscardData()
+	for _, v := range twin.Violations {
+		t.Fatalf("crash-free twin violated: %v", v)
+	}
+	for at := 0; at < steps; at++ {
+		s := base
+		s.Restarts = []Restart{{Server: at % s.Servers, At: at, Recover: true}}
+		rr, err := Verify(s)
+		if err != nil {
+			t.Fatalf("restart at %d: verify: %v", at, err)
+		}
+		rr.DiscardData()
+		for _, v := range rr.Violations {
+			t.Errorf("restart at %d: %v", at, v)
+		}
+		if !rr.DurabilityChecked {
+			t.Errorf("restart at %d: zero-missing manifest audit disarmed", at)
+		}
+		if !bytes.Equal(rr.EventLog, twin.EventLog) {
+			line, a, b := firstDivergence(rr.EventLog, twin.EventLog)
+			t.Errorf("restart at %d: event log diverges from the crash-free twin at line %d: %q vs %q",
+				at, line, a, b)
 		}
 	}
 }

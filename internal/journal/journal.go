@@ -36,7 +36,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -73,14 +72,11 @@ const (
 	recHeader     = 1
 	recCheckpoint = 2
 
-	maxString   = 4096     // header fingerprint / trace seed
-	maxReason   = 256      // placement reason in a step snapshot
-	maxManifest = 16 << 20 // embedded pool manifest snapshot
-	maxRecord   = 32 << 20 // whole record body
-	maxSmallInt = 1 << 30  // fields carried as uint32
+	maxString   = 4096        // header fingerprint / trace seed
+	maxReason   = 256         // placement reason in a step snapshot
+	maxManifest = 16 << 20    // embedded pool manifest snapshot
+	maxSmallInt = MaxSmallInt // fields carried as uint32
 )
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Header identifies the run a journal belongs to. Fingerprint is the
 // canonical encoding of every run-shaping parameter (resuming under a
@@ -252,21 +248,14 @@ func (cp *Checkpoint) validate() error {
 		r.SimClock, r.StagingClock)
 }
 
-func appendF64(b []byte, v float64) []byte {
-	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
-}
+// The encode/decode primitives (appendF64 and friends, the strict decode
+// cursor, the record framing) live in record.go, shared with the staging
+// WAL codec.
+func appendF64(b []byte, v float64) []byte { return AppendF64(b, v) }
 
-func appendStr(b []byte, s string) []byte {
-	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
-	return append(b, s...)
-}
+func appendStr(b []byte, s string) []byte { return AppendString(b, s) }
 
-func appendBool(b []byte, v bool) []byte {
-	if v {
-		return append(b, 1)
-	}
-	return append(b, 0)
-}
+func appendBool(b []byte, v bool) []byte { return AppendBool(b, v) }
 
 func encodeHeader(h Header) ([]byte, error) {
 	if len(h.Fingerprint) > maxString || len(h.TraceSeed) > maxString {
@@ -341,201 +330,101 @@ func encodeCheckpoint(cp Checkpoint) ([]byte, error) {
 	return b, nil
 }
 
-// decoder is a strict cursor over one record payload: every read narrows
-// the window, a short read poisons the cursor, and done() rejects
-// leftover bytes so each payload has exactly one valid length.
-type decoder struct {
-	b   []byte
-	err error
-}
-
-func (d *decoder) take(n int) []byte {
-	if d.err != nil {
+// decodeManifest reads the checkpoint's embedded manifest blob: uint32
+// length (bounded by maxManifest) followed by the opaque bytes.
+func decodeManifest(d *Dec) []byte {
+	n := d.U32()
+	if d.Err() != nil {
 		return nil
 	}
-	if len(d.b) < n {
-		d.err = fmt.Errorf("%w: short payload", ErrBadJournal)
-		return nil
-	}
-	out := d.b[:n]
-	d.b = d.b[n:]
-	return out
-}
-
-func (d *decoder) u8() uint8 {
-	b := d.take(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (d *decoder) u16() uint16 {
-	b := d.take(2)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint16(b)
-}
-
-func (d *decoder) smallInt() int {
-	b := d.take(4)
-	if b == nil {
-		return 0
-	}
-	v := binary.BigEndian.Uint32(b)
-	if v > maxSmallInt {
-		d.err = fmt.Errorf("%w: count %d out of range", ErrBadJournal, v)
-		return 0
-	}
-	return int(v)
-}
-
-func (d *decoder) u64() uint64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint64(b)
-}
-
-func (d *decoder) i64() int64 { return int64(d.u64()) }
-
-func (d *decoder) f64() float64 {
-	v := math.Float64frombits(d.u64())
-	if d.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
-		d.err = fmt.Errorf("%w: non-finite float", ErrBadJournal)
-	}
-	return v
-}
-
-func (d *decoder) bool() bool {
-	switch d.u8() {
-	case 0:
-		return false
-	case 1:
-		return true
-	default:
-		if d.err == nil {
-			d.err = fmt.Errorf("%w: bad boolean", ErrBadJournal)
-		}
-		return false
-	}
-}
-
-func (d *decoder) str(max int) string {
-	n := int(d.u16())
-	if d.err == nil && n > max {
-		d.err = fmt.Errorf("%w: string %d bytes (max %d)", ErrBadJournal, n, max)
-		return ""
-	}
-	return string(d.take(n))
-}
-
-func (d *decoder) manifest() []byte {
-	b := d.take(4)
-	if b == nil {
-		return nil
-	}
-	n := binary.BigEndian.Uint32(b)
 	if n > maxManifest {
-		d.err = fmt.Errorf("%w: manifest %d bytes (max %d)", ErrBadJournal, n, maxManifest)
+		d.Fail("manifest %d bytes (max %d)", n, maxManifest)
 		return nil
 	}
 	if n == 0 {
 		return nil
 	}
-	out := d.take(int(n))
+	out := d.Take(int(n))
 	if out == nil {
 		return nil
 	}
 	return append([]byte(nil), out...)
 }
 
-func (d *decoder) done() error {
-	if d.err != nil {
-		return d.err
-	}
-	if len(d.b) != 0 {
-		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadJournal, len(d.b))
-	}
-	return nil
-}
-
 func decodeHeader(payload []byte) (Header, error) {
-	d := &decoder{b: payload}
-	if magic := d.take(4); magic != nil && binary.BigEndian.Uint32(magic) != headerMagic {
+	d := NewDec(payload, ErrBadJournal)
+	if magic := d.Take(4); magic != nil && binary.BigEndian.Uint32(magic) != headerMagic {
 		return Header{}, fmt.Errorf("%w: bad magic", ErrBadJournal)
 	}
-	if v := d.u16(); d.err == nil && v != codecVersion {
+	if v := d.U16(); d.Err() == nil && v != codecVersion {
 		return Header{}, fmt.Errorf("%w: codec version %d (have %d)", ErrBadJournal, v, codecVersion)
 	}
 	h := Header{
-		Fingerprint: d.str(maxString),
-		TraceSeed:   d.str(maxString),
+		Fingerprint: d.Str(maxString),
+		TraceSeed:   d.Str(maxString),
 	}
-	if err := d.done(); err != nil {
+	if err := d.Done(); err != nil {
 		return Header{}, err
 	}
 	return h, nil
 }
 
 func decodeCheckpoint(payload []byte) (Checkpoint, error) {
-	d := &decoder{b: payload}
+	d := NewDec(payload, ErrBadJournal)
 	var cp Checkpoint
-	cp.Step = d.smallInt()
-	cp.EventSeq = d.u64()
-	cp.SpanSeq = d.u64()
-	cp.RunSpanSeq = d.u64()
-	cp.SimBusyUntil = d.f64()
-	cp.SimBusyTotal = d.f64()
-	cp.PoolBusyUntil = d.f64()
-	cp.PoolBusyTotal = d.f64()
-	cp.PoolCores = d.smallInt()
-	cp.PoolCoreSecondsBusy = d.f64()
-	cp.PoolCoreSecondsTotal = d.f64()
-	cp.StagingMemUsed = d.i64()
-	cp.StagingDownUntil = d.smallInt()
-	cp.LastPlacement = d.u8()
-	cp.MonitorHaveEWMA = d.bool()
-	cp.MonitorSimEWMA = d.f64()
-	cp.MonitorDataEWMA = d.f64()
-	cp.SimSecondsTotal = d.f64()
-	cp.BytesMovedTotal = d.i64()
-	cp.InSituSteps = d.smallInt()
-	cp.InTransitSteps = d.smallInt()
-	cp.RNGCursor = d.u64()
-	cp.EventsOffset = d.i64()
-	cp.SpansOffset = d.i64()
+	cp.Step = d.SmallInt()
+	cp.EventSeq = d.U64()
+	cp.SpanSeq = d.U64()
+	cp.RunSpanSeq = d.U64()
+	cp.SimBusyUntil = d.F64()
+	cp.SimBusyTotal = d.F64()
+	cp.PoolBusyUntil = d.F64()
+	cp.PoolBusyTotal = d.F64()
+	cp.PoolCores = d.SmallInt()
+	cp.PoolCoreSecondsBusy = d.F64()
+	cp.PoolCoreSecondsTotal = d.F64()
+	cp.StagingMemUsed = d.I64()
+	cp.StagingDownUntil = d.SmallInt()
+	cp.LastPlacement = d.U8()
+	cp.MonitorHaveEWMA = d.Bool()
+	cp.MonitorSimEWMA = d.F64()
+	cp.MonitorDataEWMA = d.F64()
+	cp.SimSecondsTotal = d.F64()
+	cp.BytesMovedTotal = d.I64()
+	cp.InSituSteps = d.SmallInt()
+	cp.InTransitSteps = d.SmallInt()
+	cp.RNGCursor = d.U64()
+	cp.EventsOffset = d.I64()
+	cp.SpansOffset = d.I64()
 
 	r := &cp.Record
-	r.Step = d.smallInt()
-	r.Factor = d.smallInt()
-	r.ReduceSeconds = d.f64()
-	r.Entropy = d.f64()
-	r.BytesProduced = d.i64()
-	r.BytesAnalyzed = d.i64()
-	r.BytesMoved = d.i64()
-	r.Placement = d.u8()
-	r.PlacementReason = d.str(maxReason)
-	r.HybridFrac = d.f64()
-	r.SimSeconds = d.f64()
-	r.AnalysisSeconds = d.f64()
-	r.TransferSeconds = d.f64()
-	r.StagingCores = d.smallInt()
-	r.StagingRetries = d.smallInt()
-	r.StagingReconnects = d.smallInt()
-	r.PeakMemBytes = d.i64()
-	r.MinMemAvail = d.i64()
-	r.MaxRankDataBytes = d.i64()
-	r.StagingMemUsed = d.i64()
-	r.Triangles = d.smallInt()
-	r.SimClock = d.f64()
-	r.StagingClock = d.f64()
-	r.FinestLevel = d.smallInt()
+	r.Step = d.SmallInt()
+	r.Factor = d.SmallInt()
+	r.ReduceSeconds = d.F64()
+	r.Entropy = d.F64()
+	r.BytesProduced = d.I64()
+	r.BytesAnalyzed = d.I64()
+	r.BytesMoved = d.I64()
+	r.Placement = d.U8()
+	r.PlacementReason = d.Str(maxReason)
+	r.HybridFrac = d.F64()
+	r.SimSeconds = d.F64()
+	r.AnalysisSeconds = d.F64()
+	r.TransferSeconds = d.F64()
+	r.StagingCores = d.SmallInt()
+	r.StagingRetries = d.SmallInt()
+	r.StagingReconnects = d.SmallInt()
+	r.PeakMemBytes = d.I64()
+	r.MinMemAvail = d.I64()
+	r.MaxRankDataBytes = d.I64()
+	r.StagingMemUsed = d.I64()
+	r.Triangles = d.SmallInt()
+	r.SimClock = d.F64()
+	r.StagingClock = d.F64()
+	r.FinestLevel = d.SmallInt()
 
-	cp.Manifest = d.manifest()
-	if err := d.done(); err != nil {
+	cp.Manifest = decodeManifest(d)
+	if err := d.Done(); err != nil {
 		return Checkpoint{}, err
 	}
 	if err := cp.validate(); err != nil {
@@ -545,12 +434,7 @@ func decodeCheckpoint(payload []byte) (Checkpoint, error) {
 }
 
 // frame wraps one record body with the length prefix and CRC-32C trailer.
-func frame(body []byte) []byte {
-	out := make([]byte, 0, len(body)+8)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	out = append(out, body...)
-	return binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
-}
+func frame(body []byte) []byte { return FrameRecord(body) }
 
 // Writer appends journal records to an underlying writer. Errors are
 // sticky: the first failed write poisons the Writer and every later call
@@ -657,29 +541,6 @@ func (r *Recovered) Last() *Checkpoint {
 	return &r.Checkpoints[len(r.Checkpoints)-1]
 }
 
-// nextRecord tries to carve one complete record off the front of b. Any
-// defect — short length prefix, absurd length, short body, checksum
-// mismatch — returns ok=false: from the scanner's point of view the rest
-// of the buffer is a torn tail.
-func nextRecord(b []byte) (body []byte, n int, ok bool) {
-	if len(b) < 4 {
-		return nil, 0, false
-	}
-	rl := binary.BigEndian.Uint32(b)
-	if rl < 1 || rl > maxRecord {
-		return nil, 0, false
-	}
-	total := 4 + int(rl) + 4
-	if len(b) < total {
-		return nil, 0, false
-	}
-	body = b[4 : 4+rl]
-	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(b[4+rl:total]) {
-		return nil, 0, false
-	}
-	return body, total, true
-}
-
 // Scan reads a journal stream, tolerating a torn tail: it stops at the
 // first incomplete or checksum-bad record and reports everything before
 // it. Structural defects inside checksum-valid records — wrong magic,
@@ -694,7 +555,7 @@ func Scan(r io.Reader) (*Recovered, error) {
 	off := 0
 	sawHeader := false
 	for off < len(data) {
-		body, n, ok := nextRecord(data[off:])
+		body, n, ok := NextRecord(data[off:])
 		if !ok {
 			rec.Torn = true
 			break

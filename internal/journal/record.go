@@ -1,0 +1,232 @@
+// Shared write-ahead record codec: the length-prefixed, CRC-32C-framed
+// record layer under both the workflow step journal ("XLJ1", this package)
+// and the staging space's durability WAL and snapshot files ("XSW1"/"XSS1",
+// internal/staging). The framing and the strict decode cursor are exported
+// here so every on-disk log in the tree shares one torn-tail-tolerant
+// record discipline instead of growing private near-copies.
+//
+//	record := recLen uint32 (BE) | body | crc uint32 (BE)
+//
+// recLen counts the body bytes; crc is CRC-32C (Castagnoli) over the body.
+// A record is either completely valid or, from a scanner's point of view,
+// the start of a torn tail — NextRecord never guesses.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// MaxRecordBody bounds one record body; absurd length prefixes are treated
+// as torn tails rather than allocation requests.
+const MaxRecordBody = 32 << 20
+
+// MaxSmallInt bounds integer fields carried as uint32 (Dec.SmallInt).
+const MaxSmallInt = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameRecord wraps one record body with the length prefix and CRC-32C
+// trailer.
+func FrameRecord(body []byte) []byte {
+	out := make([]byte, 0, len(body)+8)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+}
+
+// NextRecord tries to carve one complete record off the front of b. Any
+// defect — short length prefix, absurd length, short body, checksum
+// mismatch — returns ok=false: from the scanner's point of view the rest
+// of the buffer is a torn tail.
+func NextRecord(b []byte) (body []byte, n int, ok bool) {
+	if len(b) < 4 {
+		return nil, 0, false
+	}
+	rl := binary.BigEndian.Uint32(b)
+	if rl < 1 || rl > MaxRecordBody {
+		return nil, 0, false
+	}
+	total := 4 + int(rl) + 4
+	if len(b) < total {
+		return nil, 0, false
+	}
+	body = b[4 : 4+rl]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(b[4+rl:total]) {
+		return nil, 0, false
+	}
+	return body, total, true
+}
+
+// AppendString appends the codec's string form: uint16 (BE) length prefix
+// followed by the raw bytes. Dec.Str inverts it.
+func AppendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// AppendBool appends the codec's boolean form (0 or 1). Dec.Bool inverts
+// it, rejecting every other byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendF64 appends a float64 as big-endian IEEE-754 bits. Dec.F64 inverts
+// it, rejecting NaN and infinities.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// Dec is a strict cursor over one record payload: every read narrows the
+// window, a short read poisons the cursor, and Done rejects leftover bytes
+// so each payload has exactly one valid length. The first failure sticks;
+// all later reads return zero values.
+type Dec struct {
+	b   []byte
+	bad error // sentinel every decode error wraps (e.g. ErrBadJournal)
+	err error
+}
+
+// NewDec starts a cursor over payload; decode failures wrap bad so callers
+// can match the owning codec's sentinel with errors.Is.
+func NewDec(payload []byte, bad error) *Dec {
+	return &Dec{b: payload, bad: bad}
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Fail poisons the cursor with a formatted error wrapping the sentinel.
+// Later reads return zero values; an already-failed cursor keeps its first
+// error.
+func (d *Dec) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", d.bad, fmt.Sprintf(format, args...))
+	}
+}
+
+// Rest consumes and returns every remaining payload byte.
+func (d *Dec) Rest() []byte {
+	out := d.b
+	d.b = nil
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Take consumes exactly n bytes, failing the cursor when fewer remain.
+func (d *Dec) Take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = fmt.Errorf("%w: short payload", d.bad)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.Take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (d *Dec) U16() uint16 {
+	b := d.Take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.Take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// SmallInt reads a big-endian uint32 bounded by MaxSmallInt, the codec's
+// form for non-negative counts.
+func (d *Dec) SmallInt() int {
+	v := d.U32()
+	if d.err == nil && v > MaxSmallInt {
+		d.err = fmt.Errorf("%w: count %d out of range", d.bad, v)
+		return 0
+	}
+	return int(v)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.Take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian two's-complement int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a big-endian IEEE-754 float64, rejecting NaN and infinities —
+// no valid payload in this tree carries a non-finite value.
+func (d *Dec) F64() float64 {
+	v := math.Float64frombits(d.U64())
+	if d.err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		d.err = fmt.Errorf("%w: non-finite float", d.bad)
+	}
+	return v
+}
+
+// Bool reads a boolean, rejecting every encoding other than 0 or 1.
+func (d *Dec) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: bad boolean", d.bad)
+		}
+		return false
+	}
+}
+
+// Str reads a length-prefixed string of at most max bytes.
+func (d *Dec) Str(max int) string {
+	n := int(d.U16())
+	if d.err == nil && n > max {
+		d.err = fmt.Errorf("%w: string %d bytes (max %d)", d.bad, n, max)
+		return ""
+	}
+	return string(d.Take(n))
+}
+
+// Done rejects trailing payload bytes, returning the sticky error if the
+// cursor already failed.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", d.bad, len(d.b))
+	}
+	return nil
+}

@@ -74,6 +74,13 @@ const (
 	// KindRepair records one anti-entropy repair pass: the blocks
 	// re-replicated onto a rejoining endpoint from surviving peers.
 	KindRepair Kind = "repair"
+	// KindRepairDelta accompanies a repair pass that diffed the rejoining
+	// endpoint's advertised content manifest: Bytes is the wire bytes the
+	// pool did NOT re-ship because the endpoint already held them.
+	KindRepairDelta Kind = "repair_delta"
+	// KindStagingRecovery marks a durable staging server recovering its
+	// space from its data dir (write-ahead log + snapshot) at restart.
+	KindStagingRecovery Kind = "staging_recovery"
 	// KindCheckpointWrite marks a write-ahead journal checkpoint taken at a
 	// step barrier (journaled runs only).
 	KindCheckpointWrite Kind = "checkpoint_write"
@@ -482,6 +489,36 @@ func (e *Emitter) Repair(endpoint, blocks int, bytes int64) {
 	e.Emit(Event{
 		Kind: KindRepair, Step: StepUnset, Endpoint: endpoint, Bytes: bytes,
 		Detail: fmt.Sprintf("re-replicated %d blocks onto endpoint %d", blocks, endpoint),
+	})
+}
+
+// RepairDelta records the manifest-diff outcome of a delta rejoin repair:
+// shipped blocks were re-put, skipped blocks were already held by the
+// rejoining endpoint, and avoided is the wire bytes that did not travel.
+func (e *Emitter) RepairDelta(endpoint, shipped, skipped int, avoided int64) {
+	if e == nil {
+		return
+	}
+	e.Emit(Event{
+		Kind: KindRepairDelta, Step: StepUnset, Endpoint: endpoint, Bytes: avoided,
+		Detail: fmt.Sprintf("delta repair shipped %d blocks, skipped %d already held", shipped, skipped),
+	})
+}
+
+// StagingRecovery records a durable staging server restoring its space
+// from disk: the blocks and bytes recovered, and whether the write-ahead
+// log ended in a torn (truncated) tail.
+func (e *Emitter) StagingRecovery(endpoint, blocks int, bytes int64, torn bool) {
+	if e == nil {
+		return
+	}
+	detail := fmt.Sprintf("recovered %d blocks from data dir", blocks)
+	if torn {
+		detail += " (torn wal tail truncated)"
+	}
+	e.Emit(Event{
+		Kind: KindStagingRecovery, Step: StepUnset, Endpoint: endpoint, Bytes: bytes,
+		Detail: detail,
 	})
 }
 

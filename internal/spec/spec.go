@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -121,6 +122,14 @@ type Workflow struct {
 	// arriving with all MaxConns slots busy park here, and further arrivals
 	// are shed deterministically. Only meaningful with staging_max_conns.
 	StagingAcceptBacklog int `json:"staging_accept_backlog,omitempty"`
+	// StagingDataDir makes every staging server durable: server i keeps a
+	// write-ahead log and periodic snapshots under <dir>/server-<i>, every
+	// acked put is fsynced before the ack, and a server restarted over the
+	// same dir recovers its space from disk. Requires staging_tcp. The field
+	// is an artifact destination like journal — it is excluded from the
+	// fingerprint, and omitted from JSON when empty so historical
+	// fingerprints are unchanged.
+	StagingDataDir string `json:"staging_data_dir,omitempty"`
 
 	// Events, when set, streams structured runtime events (policy
 	// decisions, placement changes, staging retries, injected faults, …)
@@ -195,6 +204,9 @@ var (
 	// ErrMaxConnsRequireTCP: admission control guards real listeners, which
 	// only exist on the TCP staging path.
 	ErrMaxConnsRequireTCP = errors.New("spec: staging_max_conns requires staging_tcp")
+	// ErrDataDirRequiresTCP: durable staging persists real servers' spaces,
+	// which only exist on the TCP staging path.
+	ErrDataDirRequiresTCP = errors.New("spec: staging_data_dir requires staging_tcp")
 )
 
 // Resume failure classes, aliased from the journal package so spec callers
@@ -360,6 +372,9 @@ func (w *Workflow) validate() error {
 	if (w.StagingMaxConns > 0 || w.StagingAcceptBacklog > 0) && !w.StagingTCP {
 		return fmt.Errorf("%w (got staging_max_conns=%d, staging_accept_backlog=%d)",
 			ErrMaxConnsRequireTCP, w.StagingMaxConns, w.StagingAcceptBacklog)
+	}
+	if w.StagingDataDir != "" && !w.StagingTCP {
+		return ErrDataDirRequiresTCP
 	}
 	if w.Resume && w.Journal == "" {
 		return fmt.Errorf("%w (set journal)", ErrResumeRequiresJournal)
@@ -675,6 +690,7 @@ func (w *Workflow) Fingerprint() string {
 	shape := *w
 	shape.Events, shape.Spans, shape.MetricsAddr = "", "", ""
 	shape.Journal, shape.Resume = "", false
+	shape.StagingDataDir = ""
 	b, err := json.Marshal(&shape)
 	if err != nil {
 		panic(fmt.Sprintf("spec: fingerprint: %v", err)) // struct of plain fields; cannot fail
@@ -707,7 +723,10 @@ func (w *Workflow) buildStagingTCP(domain grid.Box, em *obs.Emitter, tr *span.Tr
 	// Admission events fire on accept goroutines, so spec-built servers
 	// carry no emitter (same byte-stability reasoning as OnFault above);
 	// sheds surface through metrics and Server.AdmissionStats.
-	srv := staging.ServeOnOptions(wrapped, space, w.serverOptions())
+	srv, err := w.startServer(wrapped, space, 0)
+	if err != nil {
+		return nil, nil, err
+	}
 	srv.Observe(reg)
 	opts := staging.ClientOptions{
 		OpTimeout:   2 * time.Second,
@@ -773,7 +792,10 @@ func (w *Workflow) buildStagingPool(domain grid.Box, em *obs.Emitter, reg *obs.R
 		if w.Fault != nil {
 			wrapped = faultnet.Listen(wrapped, w.Fault.Plan())
 		}
-		srv := staging.ServeOnOptions(wrapped, space, w.serverOptions())
+		srv, err := w.startServer(wrapped, space, i)
+		if err != nil {
+			return fail(err)
+		}
 		srv.Observe(reg)
 		addrs = append(addrs, ln.Addr().String())
 		gates = append(gates, gate)
@@ -835,6 +857,27 @@ func (w *Workflow) traceSeed() string {
 // server runs with.
 func (w *Workflow) serverOptions() staging.ServerOptions {
 	return staging.ServerOptions{MaxConns: w.StagingMaxConns, Backlog: w.StagingAcceptBacklog}
+}
+
+// startServer stands up one staging server over wrapped — durable when
+// staging_data_dir is set, recovering <dir>/server-<idx>'s space from disk
+// before it accepts traffic.
+func (w *Workflow) startServer(wrapped net.Listener, space *staging.Space, idx int) (*staging.Server, error) {
+	opts := w.serverOptions()
+	if w.StagingDataDir == "" {
+		return staging.ServeOnOptions(wrapped, space, opts), nil
+	}
+	dir := filepath.Join(w.StagingDataDir, fmt.Sprintf("server-%d", idx))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spec: staging data dir: %w", err)
+	}
+	opts.DataDir = dir
+	opts.ServerID = fmt.Sprintf("s%d", idx)
+	srv, err := staging.NewServer(wrapped, space, opts)
+	if err != nil {
+		return nil, fmt.Errorf("spec: staging recover %s: %w", dir, err)
+	}
+	return srv, nil
 }
 
 // BoundMetricsAddr returns the actual metrics listen address after Build

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"crosslayer/internal/field"
@@ -112,8 +113,9 @@ func FuzzReadRequest(f *testing.F) {
 		w := bufio.NewWriter(io.Discard)
 		// Serve requests off the buffer until it errors out (EOF at the
 		// latest) — mirrors Server.handle without a real socket.
+		var busy atomic.Bool
 		for i := 0; i < 16; i++ {
-			if err := s.handleOne(r, w); err != nil {
+			if err := s.handleOne(r, w, &busy); err != nil {
 				break
 			}
 			w.Flush()

@@ -1,0 +1,194 @@
+package staging
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crosslayer/internal/grid"
+)
+
+// walImageSeed builds a genuine WAL image: a persisted space mutated through
+// every record-producing path (puts, a tenant-settled put, a drop, a clear,
+// more puts), then crash-detached so the file is exactly what a kill -9
+// leaves behind.
+func walImageSeed(f *testing.F) []byte {
+	dir := f.TempDir()
+	sp := NewSpace(2, 0, dom())
+	if _, err := sp.Persist(dir, "s0"); err != nil {
+		f.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := sp.PutSeq("rho", 0, i, block(grid.IV(int(i)*8, 0, 0), 8, float64(i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sp.PutSeq("t0/u", 1, 4, block(grid.IV(0, 8, 0), 8, 9)); err != nil {
+		f.Fatal(err)
+	}
+	sp.DropBefore("rho", 0)
+	sp.Clear()
+	if err := sp.PutSeq("rho", 2, 5, block(grid.IV(0, 0, 8), 8, 2.5)); err != nil {
+		f.Fatal(err)
+	}
+	sp.CrashPersist()
+	data, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// snapImageSeed builds a genuine snapshot image via a forced compaction.
+func snapImageSeed(f *testing.F) []byte {
+	dir := f.TempDir()
+	sp := NewSpace(2, 0, dom())
+	if _, err := sp.Persist(dir, "s0"); err != nil {
+		f.Fatal(err)
+	}
+	if err := sp.PutSeq("rho", 0, 1, block(grid.IV(0, 0, 0), 8, 1)); err != nil {
+		f.Fatal(err)
+	}
+	if err := sp.PutSeq("t0/u", 3, 2, block(grid.IV(8, 0, 0), 8, -2)); err != nil {
+		f.Fatal(err)
+	}
+	if err := sp.CompactWAL(); err != nil {
+		f.Fatal(err)
+	}
+	sp.CrashPersist()
+	data, err := os.ReadFile(filepath.Join(dir, snapFileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// fuzzSameContent is assertSameContent for fuzz bodies (no t.Helper chain
+// through testing.T vs testing.F differences to worry about).
+func fuzzSameContent(t *testing.T, want, got *Space) {
+	wm, wsz := want.ContentManifestSized()
+	gm, gsz := got.ContentManifestSized()
+	if !wm.Equal(gm) {
+		t.Fatalf("manifests differ:\nwant %+v\ngot  %+v", wm.Entries, gm.Entries)
+	}
+	for i := range wsz {
+		if wsz[i] != gsz[i] {
+			t.Fatalf("entry %s@%d: %d bytes, want %d",
+				wm.Entries[i].Var, wm.Entries[i].Version, gsz[i], wsz[i])
+		}
+	}
+}
+
+// FuzzStagingWAL feeds arbitrary bytes to the WAL scanner and, for every
+// image recovery accepts, demands the recover∘replay identity: recovering
+// the dir a first recovery left behind must reproduce the identical
+// content manifest with no torn tail (the first pass truncated it). The
+// scanner must never panic and never over-trust a decoded field — every
+// length, version, and delta is range-checked before use — no matter how
+// hostile or truncated the log is.
+func FuzzStagingWAL(f *testing.F) {
+	valid := walImageSeed(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	// Torn tails at awkward offsets: mid-header, mid-record, mid-checksum.
+	for _, cut := range []int{1, 7, len(valid) / 3, len(valid) - 3, len(valid) - 1} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// A checksum-valid record stream with hostile contents: flip the codec
+	// version byte region and the first record-type byte past the header.
+	if len(valid) > 16 {
+		mut := append([]byte(nil), valid...)
+		mut[8] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add(snapImageSeed(f)) // a snapshot is not a WAL; must be rejected
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := scanWAL(data, "s0"); err != nil {
+			return // rejection is fine; panicking or misdecoding is not
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFileName), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		first := NewSpace(2, 0, dom())
+		if _, err := first.Persist(dir, "s0"); err != nil {
+			return // scan-valid but replay-hostile (e.g. epoch>0 without its snapshot)
+		}
+		if err := first.ClosePersist(); err != nil {
+			t.Fatalf("close after recovery: %v", err)
+		}
+		second := NewSpace(2, 0, dom())
+		st, err := second.Persist(dir, "s0")
+		if err != nil {
+			t.Fatalf("recovering a recovered dir: %v", err)
+		}
+		if st.TornTail {
+			t.Fatal("second recovery saw a torn tail after the first truncated it")
+		}
+		fuzzSameContent(t, first, second)
+		second.CrashPersist()
+	})
+}
+
+// FuzzStagingSnapshot feeds arbitrary bytes to the snapshot scanner. A
+// snapshot is complete-or-absent by rename atomicity, so the scanner must
+// reject anything torn, trailing, or miscounted; for every accepted image,
+// recovery over it must succeed, report the scanned object count, and a
+// fresh compaction of the recovered space must produce a snapshot that
+// scans back to the same content (snapshot∘recover identity).
+func FuzzStagingSnapshot(f *testing.F) {
+	valid := snapImageSeed(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	if len(valid) > 16 {
+		mut := append([]byte(nil), valid...)
+		mut[10] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add(walImageSeed(f)) // a WAL is not a snapshot; must be rejected
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, objs, err := scanSnapshot(data, "s0")
+		if err != nil {
+			return
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapFileName), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		sp := NewSpace(2, 0, dom())
+		st, err := sp.Persist(dir, "s0")
+		if err != nil {
+			return // structurally valid but replay-hostile object payloads
+		}
+		if !st.WALMissing {
+			t.Fatal("snapshot-only recovery did not report the missing WAL")
+		}
+		if st.SnapshotBlocks != len(objs) {
+			t.Fatalf("recovery loaded %d snapshot blocks, scan saw %d", st.SnapshotBlocks, len(objs))
+		}
+		if err := sp.CompactWAL(); err != nil {
+			t.Fatalf("compacting recovered space: %v", err)
+		}
+		resnap, err := os.ReadFile(filepath.Join(dir, snapFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, objs2, err := scanSnapshot(resnap, "s0")
+		if err != nil {
+			t.Fatalf("re-snapshot of recovered space does not scan: %v", err)
+		}
+		if len(objs2) != st.Blocks {
+			t.Fatalf("re-snapshot holds %d objects, recovered space holds %d", len(objs2), st.Blocks)
+		}
+		sp.CrashPersist()
+	})
+}

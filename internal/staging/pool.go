@@ -62,12 +62,14 @@ type Pool struct {
 	tenant   string
 	events   *obs.Emitter
 
-	mFailovers  *obs.Counter
-	mRepairs    *obs.Counter
-	mRepaired   *obs.Counter
-	mDowns      *obs.Counter
-	mHealthy    *obs.Gauge
-	mSkippedOps *obs.Counter
+	mFailovers    *obs.Counter
+	mRepairs      *obs.Counter
+	mRepaired     *obs.Counter
+	mDeltaRepairs *obs.Counter
+	mBytesAvoided *obs.Counter
+	mDowns        *obs.Counter
+	mHealthy      *obs.Gauge
+	mSkippedOps   *obs.Counter
 
 	// mu serializes whole operations on the deterministic path. The
 	// concurrent path never takes it; Close takes it on both.
@@ -220,6 +222,10 @@ func NewPool(addrs []string, domain grid.Box, opts PoolOptions) (*Pool, error) {
 		"Anti-entropy repair passes run when an endpoint rejoined.")
 	p.mRepaired = reg.Counter("xlayer_staging_pool_repaired_blocks_total",
 		"Blocks re-replicated onto rejoining endpoints.")
+	p.mDeltaRepairs = reg.Counter("xlayer_staging_pool_delta_repairs_total",
+		"Repair passes that diffed the endpoint's advertised content manifest.")
+	p.mBytesAvoided = reg.Counter("xlayer_staging_pool_repair_bytes_avoided_total",
+		"Wire bytes delta repair did not re-ship because the endpoint already held them.")
 	p.mDowns = reg.Counter("xlayer_staging_pool_endpoint_down_total",
 		"Circuit-breaker openings across pool endpoints.")
 	p.mSkippedOps = reg.Counter("xlayer_staging_pool_skipped_ops_total",
@@ -1283,7 +1289,32 @@ func (p *Pool) repair(ep *endpoint) bool {
 		roles = append(roles, role{shard, func(v string) string { return replicaVar(v, shard) }})
 	}
 
+	// Delta rejoin: ask the endpoint what it already holds. A durable
+	// server that recovered its store from disk advertises its content
+	// manifest with per-entry encoded byte totals; any entry whose block
+	// count and byte total match what this pass would restore is skipped
+	// wholesale — versions are immutable and each block is put once per
+	// version, so matching count+bytes means the endpoint already holds
+	// the identical set. A failed advertisement (old server, transport
+	// fault) degrades to the full re-put pass, never aborts.
+	type heldEntry struct {
+		blocks int
+		bytes  int64
+	}
+	type entryKey struct {
+		name string
+		ver  int
+	}
+	var held map[entryKey]heldEntry
+	if adv, sizes, err := ep.client.Manifest(); err == nil {
+		held = make(map[entryKey]heldEntry, len(adv.Entries))
+		for i, e := range adv.Entries {
+			held[entryKey{e.Var, e.Version}] = heldEntry{blocks: e.Blocks, bytes: sizes[i]}
+		}
+	}
+
 	blocks, bytes := 0, int64(0)
+	skippedBlocks, avoided := 0, int64(0)
 	for _, varName := range vars {
 		versions := versionsOf[varName]
 		if len(versions) == 0 {
@@ -1306,6 +1337,17 @@ func (p *Pool) repair(ep *endpoint) bool {
 				if !ok {
 					return false
 				}
+				if held != nil && len(fetched) > 0 {
+					var fb int64
+					for _, b := range fetched {
+						fb += EncodedSize(b)
+					}
+					if h, ok := held[entryKey{name, ver}]; ok && h.blocks == len(fetched) && h.bytes == fb {
+						skippedBlocks += len(fetched)
+						avoided += fb
+						continue
+					}
+				}
 				for _, b := range fetched {
 					if err := ep.client.PutRepair(name, ver, b); err != nil {
 						return false
@@ -1319,6 +1361,13 @@ func (p *Pool) repair(ep *endpoint) bool {
 	p.mRepairs.Inc()
 	p.mRepaired.Add(float64(blocks))
 	p.sinkEvent(ep.idx, rankRepair, func(e *obs.Emitter) { e.Repair(ep.idx, blocks, bytes) })
+	if held != nil {
+		p.mDeltaRepairs.Inc()
+		p.mBytesAvoided.Add(float64(avoided))
+		p.sinkEvent(ep.idx, rankRepair, func(e *obs.Emitter) {
+			e.RepairDelta(ep.idx, blocks, skippedBlocks, avoided)
+		})
+	}
 	// One span per completed pass, mirroring the repair event (the chaos
 	// span-tree invariant counts them against each other). Aborted passes
 	// emit neither.

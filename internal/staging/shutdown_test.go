@@ -1,0 +1,116 @@
+package staging
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"crosslayer/internal/grid"
+)
+
+// TestShutdownDrainsInFlightAndFsyncs pins the graceful-shutdown contract
+// behind `xlayer serve`'s SIGTERM path: a request already being served when
+// Shutdown begins runs to completion with its response delivered and its
+// WAL record fsynced, Shutdown returns only after the handler exits, and
+// the closed data dir recovers the drained put. The in-flight handler is
+// held open with ServerOptions.RequestHook.
+func TestShutdownDrainsInFlightAndFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	space := NewSpace(1, 0, dom())
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, space, ServerOptions{
+		DataDir:  dir,
+		ServerID: "s0",
+		RequestHook: func(op byte) {
+			if op == opPut {
+				entered <- struct{}{}
+				<-hold
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	c := NewClient(srv.Addr(), ClientOptions{MaxRetries: -1, OpTimeout: 5 * time.Second})
+	defer c.Close()
+	putErr := make(chan error, 1)
+	go func() { putErr <- c.Put("rho", 0, block(grid.IV(0, 0, 0), 8, 1.5)) }()
+	<-entered // the handler is now mid-request, parked on the hook
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown() }()
+	for !srv.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned (%v) while a handler was still in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(hold) // the drain can finish now
+	if err := <-putErr; err != nil {
+		t.Fatalf("in-flight put severed by graceful shutdown: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if space.Persisted() {
+		t.Fatal("Shutdown left the WAL attached")
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown not idempotent: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown not a no-op: %v", err)
+	}
+
+	// The drained put must be on disk: a fresh incarnation recovers it.
+	sp2 := NewSpace(1, 0, dom())
+	st, err := sp2.Persist(dir, "s0")
+	if err != nil {
+		t.Fatalf("recover after graceful shutdown: %v", err)
+	}
+	if st.TornTail || st.Blocks != 1 {
+		t.Fatalf("recovered stats = %+v, want 1 block and no torn tail", st)
+	}
+	sp2.CrashPersist()
+}
+
+// TestShutdownInterruptsIdleConnections pins the other half of the drain: a
+// connection with no request in flight is released immediately — Shutdown
+// must not wait for a client that is merely holding its socket open.
+func TestShutdownInterruptsIdleConnections(t *testing.T) {
+	dir := t.TempDir()
+	space := NewSpace(1, 0, dom())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, space, ServerOptions{DataDir: dir, ServerID: "s0"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	c := NewClient(srv.Addr(), ClientOptions{MaxRetries: -1, OpTimeout: 2 * time.Second})
+	defer c.Close()
+	// One served request establishes the connection, which then idles.
+	if err := c.Put("rho", 0, block(grid.IV(0, 0, 0), 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on an idle connection")
+	}
+}

@@ -167,6 +167,15 @@ type Space struct {
 	qmu    sync.Mutex
 	quotas map[string]TenantQuota
 	usage  map[string]*tenantUsage
+
+	// Optional durability (wal.go). opMu keeps the WAL's record order
+	// consistent with shard state: puts hold it shared around
+	// shard-mutation + log-append, clear/drop/attach hold it exclusive, so
+	// a Clear can never interleave between a put's shard write and its log
+	// record. dur is nil when the space is not persisted.
+	opMu       sync.RWMutex
+	dur        *durability
+	walMetrics walCounters
 }
 
 type tenantUsage struct {
@@ -254,9 +263,20 @@ func (sp *Space) PutSeq(varName string, version int, seq int64, d *field.BoxData
 			return err
 		}
 	}
+	sp.opMu.RLock()
 	delta, added, err := sp.route(d.Box).put(&Object{Var: varName, Version: version, Seq: seq, Data: d})
+	var walErr error
+	if err == nil && sp.dur != nil {
+		// Log (and fsync) before acknowledging: an acked put survives a
+		// crash. The settlement record rides in the same append.
+		walErr = sp.dur.logPut(varName, version, seq, d, tenant, delta-sz, added-1)
+	}
+	sp.opMu.RUnlock()
 	if tenant != "" {
 		sp.adjustTenant(tenant, delta-sz, added-1)
+	}
+	if err == nil {
+		err = walErr
 	}
 	return err
 }
@@ -385,12 +405,17 @@ func (sp *Space) collect(varName string, version int, region grid.Box) []*Object
 // server comes back empty and must be repaired by its pool's anti-entropy
 // pass).
 func (sp *Space) Clear() {
+	sp.opMu.Lock()
 	for _, s := range sp.servers {
 		s.mu.Lock()
 		s.objects = make(map[string][]*Object)
 		s.memUsed = 0
 		s.mu.Unlock()
 	}
+	if sp.dur != nil {
+		sp.dur.logClear()
+	}
+	sp.opMu.Unlock()
 	sp.qmu.Lock()
 	sp.usage = nil
 	sp.qmu.Unlock()
@@ -402,11 +427,16 @@ func (sp *Space) Clear() {
 func (sp *Space) DropBefore(varName string, version int) int64 {
 	var freed int64
 	var blocks int
+	sp.opMu.Lock()
 	for _, s := range sp.servers {
 		f, n := s.dropBefore(varName, version)
 		freed += f
 		blocks += n
 	}
+	if sp.dur != nil && blocks > 0 {
+		sp.dur.logDrop(varName, version)
+	}
+	sp.opMu.Unlock()
 	if tenant := TenantOf(varName); tenant != "" && blocks > 0 {
 		sp.adjustTenant(tenant, -freed, -blocks)
 	}

@@ -2,6 +2,7 @@ package staging
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -64,6 +65,13 @@ const (
 	opGet  = 2
 	opDrop = 3
 	opStat = 4
+	// opManifest asks the server to advertise its content manifest plus
+	// per-entry encoded byte totals (see Client.Manifest) — what a pool
+	// uses to turn rejoin repair into a manifest-diff delta. Request: empty
+	// var, version 0, empty body. Response: status | mlen uint32 | XLM1
+	// manifest | entryCount × int64 byte totals (little-endian, in the
+	// manifest's sorted entry order).
+	opManifest = 5
 
 	// opFlagTrace marks a request carrying the trace-context extension.
 	opFlagTrace = 0x80
@@ -126,6 +134,24 @@ type ServerOptions struct {
 	// Events, when set, receives one structured event per shed connection
 	// and per quota-rejected put (attributed by tenant).
 	Events *obs.Emitter
+
+	// DataDir, when set, makes the server durable: the space is persisted
+	// under this directory (write-ahead log + snapshot compaction, see
+	// wal.go) and a previous incarnation's state is recovered from it at
+	// construction. Only NewServer honors it — recovery can fail, and the
+	// panic-free constructors refuse the option.
+	DataDir string
+
+	// ServerID names this server inside its data dir's file headers, so a
+	// dir can never be recovered by a differently-configured server
+	// (default "staging").
+	ServerID string
+
+	// RequestHook, when set, is called with each request's op byte after
+	// the header is decoded and before the request is served — test
+	// instrumentation for holding a handler in flight (e.g. to prove
+	// Shutdown drains it).
+	RequestHook func(op byte)
 }
 
 // Server serves a Space over TCP.
@@ -149,16 +175,21 @@ type Server struct {
 	metrics atomic.Pointer[serverMetrics]
 	tracer  atomic.Pointer[span.Tracer]
 
+	// draining is set by Shutdown: handlers finish the request they are
+	// serving, then exit instead of reading another.
+	draining  atomic.Bool
+	recovered *RecoverStats // non-nil when DataDir recovery ran
+
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*atomic.Bool // per-conn mid-request flag
 }
 
 // serverMetrics is the server's instrument set (see Observe).
 type serverMetrics struct {
-	reqPut, reqGet, reqDrop, reqStat, reqOther *obs.Counter
-	bytesIn, bytesOut                          *obs.Counter
-	activeConns                                *obs.Gauge
+	reqPut, reqGet, reqDrop, reqStat, reqManifest, reqOther *obs.Counter
+	bytesIn, bytesOut                                       *obs.Counter
+	activeConns                                             *obs.Gauge
 
 	admAdmitted, admQueued              *obs.Counter
 	admShedMaxConns, admShedBacklogFull *obs.Counter
@@ -176,27 +207,34 @@ func (m *serverMetrics) count(op byte) {
 		m.reqDrop.Inc()
 	case opStat:
 		m.reqStat.Inc()
+	case opManifest:
+		m.reqManifest.Inc()
 	default:
 		m.reqOther.Inc()
 	}
 }
 
 // Observe registers the server's transport metrics in reg: requests served
-// by op, raw bytes in/out, and the active-connection gauge. Call it right
-// after construction, before clients connect; connections accepted earlier
-// are not counted. A nil registry is ignored.
+// by op, raw bytes in/out, and the active-connection gauge — plus, for a
+// durable server, the space's xlayer_staging_wal_* instruments. Call it
+// right after construction, before clients connect; connections accepted
+// earlier are not counted. A nil registry is ignored.
 func (s *Server) Observe(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	if s.opts.DataDir != "" {
+		s.space.ObserveWAL(reg)
+	}
 	const reqName = "xlayer_staging_server_requests_total"
 	const reqHelp = "Requests served by the staging server, by operation."
 	m := &serverMetrics{
-		reqPut:   reg.Counter(reqName, reqHelp, "op", "put"),
-		reqGet:   reg.Counter(reqName, reqHelp, "op", "get"),
-		reqDrop:  reg.Counter(reqName, reqHelp, "op", "drop"),
-		reqStat:  reg.Counter(reqName, reqHelp, "op", "stat"),
-		reqOther: reg.Counter(reqName, reqHelp, "op", "other"),
+		reqPut:      reg.Counter(reqName, reqHelp, "op", "put"),
+		reqGet:      reg.Counter(reqName, reqHelp, "op", "get"),
+		reqDrop:     reg.Counter(reqName, reqHelp, "op", "drop"),
+		reqStat:     reg.Counter(reqName, reqHelp, "op", "stat"),
+		reqManifest: reg.Counter(reqName, reqHelp, "op", "manifest"),
+		reqOther:    reg.Counter(reqName, reqHelp, "op", "other"),
 		bytesIn: reg.Counter("xlayer_staging_server_bytes_in_total",
 			"Raw bytes read from staging clients."),
 		bytesOut: reg.Counter("xlayer_staging_server_bytes_out_total",
@@ -252,13 +290,14 @@ func Serve(addr string, space *Space) (*Server, error) {
 	return ServeOptions(addr, space, ServerOptions{})
 }
 
-// ServeOptions starts a server on addr with explicit admission options.
+// ServeOptions starts a server on addr with explicit options, including
+// DataDir persistence.
 func ServeOptions(addr string, space *Space, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return ServeOnOptions(ln, space, opts), nil
+	return NewServer(ln, space, opts)
 }
 
 // ServeOn starts a server on an existing listener — the hook fault-injection
@@ -268,14 +307,41 @@ func ServeOn(ln net.Listener, space *Space) *Server {
 }
 
 // ServeOnOptions starts a server on an existing listener with explicit
-// admission options.
+// admission options. It cannot report a recovery failure, so it refuses
+// DataDir — use NewServer for durable servers.
 func ServeOnOptions(ln net.Listener, space *Space, opts ServerOptions) *Server {
+	if opts.DataDir != "" {
+		panic("staging: ServeOnOptions cannot recover a DataDir; use NewServer")
+	}
+	s, _ := NewServer(ln, space, opts)
+	return s
+}
+
+// NewServer is the full server constructor. When opts.DataDir is set the
+// space is persisted under it first — recovering a previous incarnation's
+// write-ahead log and snapshot — and a recovery failure closes ln and is
+// returned instead of serving over wrong state.
+func NewServer(ln net.Listener, space *Space, opts ServerOptions) (*Server, error) {
+	var recovered *RecoverStats
+	if opts.DataDir != "" {
+		id := opts.ServerID
+		if id == "" {
+			id = "staging"
+		}
+		var err error
+		recovered, err = space.Persist(opts.DataDir, id)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	s := &Server{
-		space: space,
-		ln:    ln,
-		opts:  opts,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		space:     space,
+		ln:        ln,
+		opts:      opts,
+		recovered: recovered,
+		conns:     make(map[net.Conn]*atomic.Bool),
+		done:      make(chan struct{}),
 	}
 	if opts.MaxConns > 0 {
 		s.slots = make(chan struct{}, opts.MaxConns)
@@ -291,16 +357,23 @@ func ServeOnOptions(ln net.Listener, space *Space, opts ServerOptions) *Server {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s
+	return s, nil
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// RecoverStats reports what DataDir recovery restored at construction
+// (nil for a non-durable server).
+func (s *Server) RecoverStats() *RecoverStats { return s.recovered }
+
 // Close stops accepting connections, severs in-flight ones, drains the
 // accept backlog, and waits for every handler goroutine to exit. A handler
 // blocked mid-request cannot outlive Close: its connection is closed under
-// it. Close is idempotent.
+// it. A durable server's WAL file descriptor is dropped without a final
+// flush — the hard-stop twin of Shutdown's fsync-and-close — which loses
+// nothing acked, because every acked put was fsynced at append time. Close
+// is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -319,6 +392,48 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.opts.DataDir != "" {
+		s.space.CrashPersist()
+	}
+	return err
+}
+
+// Shutdown stops the server gracefully: it stops accepting, lets every
+// handler finish the request it is currently serving (idle connections are
+// interrupted), waits for all of them, and — for a durable server — flushes,
+// fsyncs, and closes the space's write-ahead log. A request whose header
+// had not fully arrived when Shutdown began may be severed; everything the
+// server started serving completes with its response delivered. Shutdown
+// and Close are each idempotent and safe to call in either order; the
+// first call wins.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true // refuse new conns; make a later Close a no-op
+	s.draining.Store(true)
+	idle := make([]net.Conn, 0, len(s.conns))
+	for c, busy := range s.conns {
+		if !busy.Load() {
+			idle = append(idle, c)
+		}
+	}
+	s.mu.Unlock()
+	close(s.done) // dispatchLoop drains the accept backlog
+	err := s.ln.Close()
+	// Expire the idle connections' pending header reads; busy handlers run
+	// their request to completion and exit on the draining flag.
+	for _, c := range idle {
+		c.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
+	if s.opts.DataDir != "" {
+		if cerr := s.space.ClosePersist(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -331,16 +446,18 @@ func (s *Server) AdmissionStats() (admitted, queued, shed, quotaRejected int64) 
 	return s.nAdmitted.Load(), s.nQueued.Load(), s.nShed.Load(), s.nQuota.Load()
 }
 
-// track registers conn for Close-time severing; it reports false when the
-// server is already closed (the conn must be dropped, not served).
-func (s *Server) track(conn net.Conn) bool {
+// track registers conn for Close-time severing, returning its mid-request
+// flag; it reports false when the server is already closed (the conn must
+// be dropped, not served).
+func (s *Server) track(conn net.Conn) (*atomic.Bool, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false
+		return nil, false
 	}
-	s.conns[conn] = struct{}{}
-	return true
+	busy := &atomic.Bool{}
+	s.conns[conn] = busy
+	return busy, true
 }
 
 func (s *Server) untrack(conn net.Conn) {
@@ -471,7 +588,8 @@ func (s *Server) releaseSlot() {
 // caller has already acquired a slot (when admission is on); the handler
 // releases it on exit.
 func (s *Server) serveConn(conn net.Conn) {
-	if !s.track(conn) {
+	busy, ok := s.track(conn)
+	if !ok {
 		conn.Close()
 		s.releaseSlot()
 		return
@@ -488,32 +606,42 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer m.activeConns.Add(-1)
 			served = &countingConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
 		}
-		s.handle(served)
+		s.handle(served, busy)
 	}()
 }
 
-// handle serves one connection until EOF or error.
-func (s *Server) handle(conn net.Conn) {
+// handle serves one connection until EOF, error, or drain. busy is raised
+// while a request is mid-flight so Shutdown can tell handlers it may
+// interrupt (idle, parked on the next header) from ones it must wait out.
+func (s *Server) handle(conn net.Conn, busy *atomic.Bool) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		if err := s.handleOne(r, w); err != nil {
+		if s.draining.Load() {
+			return
+		}
+		if err := s.handleOne(r, w, busy); err != nil {
 			return // connection-level error or clean EOF
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
+		busy.Store(false)
 	}
 }
 
-func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer) error {
+func (s *Server) handleOne(r *bufio.Reader, w *bufio.Writer, busy *atomic.Bool) error {
 	var hdr [3]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
+	busy.Store(true)
 	op := hdr[0] &^ opFlagTrace
 	if m := s.metrics.Load(); m != nil {
 		m.count(op)
+	}
+	if s.opts.RequestHook != nil {
+		s.opts.RequestHook(op)
 	}
 	varLen := binary.LittleEndian.Uint16(hdr[1:])
 	if varLen > 256 {
@@ -574,6 +702,8 @@ func opName(op byte) string {
 		return "drop"
 	case opStat:
 		return "stat"
+	case opManifest:
+		return "manifest"
 	}
 	return "unknown"
 }
@@ -665,6 +795,32 @@ func (s *Server) dispatch(op byte, varName string, version int, r *bufio.Reader,
 		binary.LittleEndian.PutUint64(out[:], uint64(s.space.MemUsed()))
 		_, err := w.Write(out[:])
 		return err
+
+	case opManifest:
+		m, sizes := s.space.ContentManifestSized()
+		var buf bytes.Buffer
+		if err := EncodeManifest(&buf, m); err != nil {
+			return w.WriteByte(statusBad)
+		}
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		var mlen [4]byte
+		binary.LittleEndian.PutUint32(mlen[:], uint32(buf.Len()))
+		if _, err := w.Write(mlen[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		var szBuf [8]byte
+		for _, sz := range sizes {
+			binary.LittleEndian.PutUint64(szBuf[:], uint64(sz))
+			if _, err := w.Write(szBuf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return fmt.Errorf("%w: unknown op %d", ErrProtocol, op)
 }
@@ -1103,6 +1259,66 @@ func (c *Client) dropBefore(varName string, version int) (int64, error) {
 		return 0, err
 	}
 	return int64(binary.LittleEndian.Uint64(out[:])), nil
+}
+
+// Manifest fetches the server's advertised content manifest plus each
+// entry's total encoded payload bytes (aligned with the sorted entries) —
+// what the pool's rejoin repair diffs against its expectation to ship only
+// the blocks the server is actually missing. A pre-manifest server rejects
+// the op by dropping the connection, which surfaces here as
+// ErrStagingUnavailable; callers treat that as "no advertisement" and fall
+// back to full repair.
+func (c *Client) Manifest() (Manifest, []int64, error) {
+	var m Manifest
+	var sizes []int64
+	err := c.do(func() error {
+		var err error
+		m, sizes, err = c.manifest()
+		return err
+	})
+	return m, sizes, err
+}
+
+func (c *Client) manifest() (Manifest, []int64, error) {
+	if err := c.writeHeader(opManifest, "", 0); err != nil {
+		return Manifest{}, nil, err
+	}
+	st, err := c.readStatus()
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	if st != statusOK {
+		return Manifest{}, nil, fmt.Errorf("%w: manifest status %d", ErrProtocol, st)
+	}
+	var mlen [4]byte
+	if _, err := io.ReadFull(c.r, mlen[:]); err != nil {
+		return Manifest{}, nil, err
+	}
+	n := binary.LittleEndian.Uint32(mlen[:])
+	if n > 64<<20 {
+		return Manifest{}, nil, fmt.Errorf("%w: absurd manifest size %d", ErrProtocol, n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(c.r, raw); err != nil {
+		return Manifest{}, nil, err
+	}
+	m, err := DecodeManifest(bytes.NewReader(raw))
+	if err != nil {
+		return Manifest{}, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	sizes := make([]int64, len(m.Entries))
+	var szBuf [8]byte
+	for i := range sizes {
+		if _, err := io.ReadFull(c.r, szBuf[:]); err != nil {
+			return Manifest{}, nil, err
+		}
+		sz := int64(binary.LittleEndian.Uint64(szBuf[:]))
+		if sz < 0 {
+			return Manifest{}, nil, fmt.Errorf("%w: negative entry size", ErrProtocol)
+		}
+		sizes[i] = sz
+	}
+	return m, sizes, nil
 }
 
 // MemUsed reports the server's total stored bytes.

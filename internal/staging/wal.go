@@ -1,0 +1,959 @@
+// Durability layer (DESIGN.md §15): an optional per-space write-ahead log
+// plus periodic snapshot compaction, so a staging server restarted over the
+// same data directory recovers the shard it held at the crash instead of
+// rejoining empty.
+//
+// The WAL reuses the journal package's record framing (recLen | body |
+// CRC-32C, torn-tail tolerant) under an "XSW1" header that carries the
+// server id and the tenant-aware key codec version. Every successful
+// mutation appends one record — puts (with the full block payload), tenant
+// quota settlements, drops, and clears — and is fsynced before the space
+// acknowledges it: an acked put survives kill -9; a crash mid-append leaves
+// a torn tail that recovery truncates, losing only the unacked write.
+//
+// Compaction bounds replay: every compactEvery records the space dumps its
+// objects in canonical manifest order into snapshot.tmp, fsyncs, renames it
+// over snapshot.xss, then rotates the WAL to a fresh epoch. Recovery loads
+// the last complete snapshot (complete-or-absent by rename atomicity) and
+// replays the WAL suffix past it, reconciled through the epoch counter:
+// same epoch → skip the covered prefix; epoch+1 → replay everything. The
+// replayed puts go through the same seq-idempotent put path the wire uses,
+// so a record that races a compaction is applied at most once.
+package staging
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"crosslayer/internal/field"
+	"crosslayer/internal/grid"
+	"crosslayer/internal/journal"
+	"crosslayer/internal/obs"
+)
+
+// WAL failure modes.
+var (
+	// ErrBadWAL tags a structurally invalid WAL: a checksum-valid record
+	// whose payload is not a valid WAL record. Unlike a torn tail this is
+	// not survivable — the file was written by something else.
+	ErrBadWAL = errors.New("staging: bad wal")
+	// ErrBadSnapshot tags a structurally invalid or incomplete snapshot.
+	// Snapshots are complete-or-absent by rename atomicity, so a partial
+	// snapshot means external corruption and recovery fails closed.
+	ErrBadSnapshot = errors.New("staging: bad snapshot")
+	// ErrWALMismatch reports a data dir belonging to a different server id
+	// or an incompatible key codec version.
+	ErrWALMismatch = errors.New("staging: data dir belongs to a different server")
+)
+
+const (
+	walMagic  = 0x58535731 // "XSW1"
+	snapMagic = 0x58535331 // "XSS1"
+
+	// walKeyCodec is the version of the wire-key namespace the log's keys
+	// live in: 1 = tenant-aware keys ("tenant/var" qualification, "#rN"
+	// replica suffixes). A mismatch fails recovery closed rather than
+	// misfiling another codec's keys.
+	walKeyCodec = 1
+
+	walRecHeader = 1
+	walRecPut    = 2
+	walRecClear  = 3
+	walRecDrop   = 4
+	walRecSettle = 5
+
+	snapRecHeader = 1
+	snapRecObject = 2
+	snapRecFooter = 3
+
+	maxWALKey      = 4096
+	maxWALServerID = 256
+
+	walFileName  = "wal.xsw"
+	snapFileName = "snapshot.xss"
+
+	// defaultCompactEvery is how many WAL records accumulate before the
+	// space compacts them into a snapshot and rotates the log.
+	defaultCompactEvery = 512
+)
+
+// RecoverStats summarizes one Persist recovery pass.
+type RecoverStats struct {
+	SnapshotBlocks int   // objects loaded from the last complete snapshot
+	WALRecords     int   // WAL records replayed past the snapshot
+	Blocks         int   // objects live after recovery
+	Bytes          int64 // data bytes live after recovery
+	TornTail       bool  // the WAL ended mid-record; the tail was truncated
+	WALMissing     bool  // a snapshot existed but no usable WAL did
+}
+
+// WALStats reports the durability layer's activity since Persist.
+type WALStats struct {
+	Records   uint64 // records appended
+	Bytes     uint64 // framed bytes appended
+	Fsyncs    uint64
+	Snapshots uint64 // compactions performed
+	Epoch     uint64 // current WAL epoch (bumped by each compaction)
+}
+
+// walCounters are the xlayer_staging_wal_* metric hooks. They live on the
+// Space (not the durability handle) so a crash-restart cycle keeps
+// incrementing the same registered instruments.
+type walCounters struct {
+	records, bytes, fsyncs, snapshots *obs.Counter
+	recovered                         *obs.Gauge
+}
+
+// durability is the attached WAL: an append handle over dir/wal.xsw plus
+// the compaction state. Callers hold the owning Space's opMu (shared for
+// puts, exclusive for clear/drop/attach/detach); mu additionally
+// serializes the appends of puts racing under the shared lock.
+type durability struct {
+	mu           sync.Mutex
+	dir          string
+	serverID     string
+	f            *os.File
+	epoch        uint64
+	recs         uint64 // records in the current epoch's WAL file
+	compactEvery uint64
+	err          error // sticky: first append failure poisons the log
+	stats        WALStats
+	met          *walCounters
+	space        *Space
+}
+
+// walRec is one decoded WAL (or snapshot object) record.
+type walRec struct {
+	typ         byte
+	key         string
+	version     int
+	seq         int64
+	data        *field.BoxData
+	tenant      string
+	bytesDelta  int64
+	blocksDelta int
+}
+
+// Persist attaches a write-ahead log under dir to the space, first
+// recovering whatever a previous incarnation left there: the last complete
+// snapshot, then the WAL suffix past it, torn tail truncated. serverID is
+// stamped into every file header; recovering a dir written under a
+// different id (or key codec) fails closed with ErrWALMismatch. The space
+// must be freshly constructed or Clear-ed: recovered state lands on top of
+// whatever it holds.
+func (sp *Space) Persist(dir, serverID string) (*RecoverStats, error) {
+	if len(serverID) > maxWALServerID {
+		return nil, fmt.Errorf("%w: server id %d bytes (max %d)", ErrBadWAL, len(serverID), maxWALServerID)
+	}
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	if sp.dur != nil {
+		return nil, errors.New("staging: space already persisted")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("staging: wal dir: %w", err)
+	}
+
+	stats := &RecoverStats{}
+	snapData, snapErr := os.ReadFile(filepath.Join(dir, snapFileName))
+	if snapErr != nil && !errors.Is(snapErr, os.ErrNotExist) {
+		return nil, fmt.Errorf("staging: read snapshot: %w", snapErr)
+	}
+	walData, walErr := os.ReadFile(filepath.Join(dir, walFileName))
+	if walErr != nil && !errors.Is(walErr, os.ErrNotExist) {
+		return nil, fmt.Errorf("staging: read wal: %w", walErr)
+	}
+
+	var snapEpoch, snapCovered uint64
+	var snapObjs []walRec
+	haveSnap := false
+	if snapErr == nil {
+		var err error
+		snapEpoch, snapCovered, snapObjs, err = scanSnapshot(snapData, serverID)
+		if err != nil {
+			return nil, err
+		}
+		haveSnap = true
+	}
+
+	var ws *walScan
+	haveWAL := false
+	if walErr == nil {
+		var err error
+		ws, err = scanWAL(walData, serverID)
+		if err != nil {
+			return nil, err
+		}
+		// A WAL whose header never made it to disk provides nothing; treat
+		// it as absent and start a fresh epoch below.
+		haveWAL = ws.haveHeader
+		stats.TornTail = ws.torn
+	}
+
+	// Reconcile snapshot and WAL through the epoch counter.
+	var replay []walRec
+	switch {
+	case haveSnap && haveWAL:
+		switch {
+		case ws.epoch == snapEpoch:
+			// Crash after the snapshot renamed but before the WAL rotated:
+			// the snapshot covers the first snapCovered records.
+			if snapCovered > uint64(len(ws.recs)) {
+				return nil, fmt.Errorf("%w: snapshot covers %d wal records, wal has %d",
+					ErrBadSnapshot, snapCovered, len(ws.recs))
+			}
+			replay = ws.recs[snapCovered:]
+		case ws.epoch == snapEpoch+1:
+			replay = ws.recs
+		default:
+			return nil, fmt.Errorf("%w: wal epoch %d does not follow snapshot epoch %d",
+				ErrBadWAL, ws.epoch, snapEpoch)
+		}
+	case haveSnap:
+		stats.WALMissing = true
+	case haveWAL:
+		if ws.epoch != 0 {
+			return nil, fmt.Errorf("%w: wal epoch %d but no snapshot", ErrBadWAL, ws.epoch)
+		}
+		replay = ws.recs
+	}
+
+	for i := range snapObjs {
+		if err := sp.applyRecovered(&snapObjs[i]); err != nil {
+			return nil, err
+		}
+	}
+	stats.SnapshotBlocks = len(snapObjs)
+	for i := range replay {
+		if err := sp.applyRecovered(&replay[i]); err != nil {
+			return nil, err
+		}
+	}
+	stats.WALRecords = len(replay)
+	sp.recomputeUsageFromShards()
+	stats.Blocks, stats.Bytes = sp.countLocked()
+
+	d := &durability{
+		dir: dir, serverID: serverID,
+		compactEvery: defaultCompactEvery,
+		met:          &sp.walMetrics,
+		space:        sp,
+	}
+	if haveWAL {
+		// Keep the surviving WAL, truncated past its torn tail, and append.
+		f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_RDWR, 0o666)
+		if err != nil {
+			return nil, fmt.Errorf("staging: open wal: %w", err)
+		}
+		if err := f.Truncate(ws.good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("staging: truncate torn wal tail: %w", err)
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("staging: seek wal: %w", err)
+		}
+		d.f, d.epoch, d.recs = f, ws.epoch, uint64(len(ws.recs))
+	} else {
+		epoch := uint64(0)
+		if haveSnap {
+			epoch = snapEpoch + 1
+		}
+		f, err := newWALFile(filepath.Join(dir, walFileName), serverID, epoch)
+		if err != nil {
+			return nil, err
+		}
+		d.f, d.epoch = f, epoch
+	}
+	if d.met.recovered != nil {
+		d.met.recovered.Set(float64(stats.Blocks))
+	}
+	sp.dur = d
+	return stats, nil
+}
+
+// Persisted reports whether a WAL is currently attached.
+func (sp *Space) Persisted() bool {
+	sp.opMu.RLock()
+	defer sp.opMu.RUnlock()
+	return sp.dur != nil
+}
+
+// WALStats reports the attached WAL's activity (zero when detached).
+func (sp *Space) WALStats() WALStats {
+	sp.opMu.RLock()
+	defer sp.opMu.RUnlock()
+	if sp.dur == nil {
+		return WALStats{}
+	}
+	sp.dur.mu.Lock()
+	defer sp.dur.mu.Unlock()
+	st := sp.dur.stats
+	st.Epoch = sp.dur.epoch
+	return st
+}
+
+// SyncWAL fsyncs the attached WAL (a no-op when detached: appends already
+// sync record by record, this flushes any pending OS state on demand).
+func (sp *Space) SyncWAL() error {
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	if sp.dur == nil {
+		return nil
+	}
+	if sp.dur.err != nil {
+		return sp.dur.err
+	}
+	return sp.dur.sync()
+}
+
+// CompactWAL forces a snapshot compaction: the space's objects are dumped
+// in canonical manifest order to a fresh snapshot and the WAL rotates to a
+// new epoch.
+func (sp *Space) CompactWAL() error {
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	if sp.dur == nil {
+		return errors.New("staging: space not persisted")
+	}
+	if sp.dur.err != nil {
+		return sp.dur.err
+	}
+	return sp.dur.compact()
+}
+
+// ClosePersist flushes and fsyncs the WAL, closes it, and detaches the
+// durability layer — the graceful-shutdown half. The space keeps its
+// in-memory contents; a later Persist over the same dir recovers them.
+func (sp *Space) ClosePersist() error {
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	d := sp.dur
+	if d == nil {
+		return nil
+	}
+	sp.dur = nil
+	if d.err != nil {
+		d.f.Close()
+		return d.err
+	}
+	if err := d.sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}
+
+// CrashPersist abruptly detaches the WAL without flushing — the kill -9
+// half, used by the chaos harness's restart action and crash tests. The
+// on-disk state is whatever the last fsync made durable.
+func (sp *Space) CrashPersist() {
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	if sp.dur != nil {
+		sp.dur.f.Close()
+		sp.dur = nil
+	}
+}
+
+// ObserveWAL registers the xlayer_staging_wal_* instruments on reg and
+// back-fills them with activity so far. Counters keep incrementing across
+// a CrashPersist/Persist restart cycle.
+func (sp *Space) ObserveWAL(reg *obs.Registry) {
+	sp.opMu.Lock()
+	defer sp.opMu.Unlock()
+	m := &sp.walMetrics
+	m.records = reg.Counter("xlayer_staging_wal_records_total", "WAL records appended")
+	m.bytes = reg.Counter("xlayer_staging_wal_bytes_total", "framed WAL bytes appended")
+	m.fsyncs = reg.Counter("xlayer_staging_wal_fsyncs_total", "WAL fsync calls")
+	m.snapshots = reg.Counter("xlayer_staging_wal_snapshots_total", "snapshot compactions")
+	m.recovered = reg.Gauge("xlayer_staging_wal_recovered_blocks", "blocks recovered by the last Persist")
+	if d := sp.dur; d != nil {
+		m.records.Add(float64(d.stats.Records))
+		m.bytes.Add(float64(d.stats.Bytes))
+		m.fsyncs.Add(float64(d.stats.Fsyncs))
+		m.snapshots.Add(float64(d.stats.Snapshots))
+	}
+}
+
+// applyRecovered replays one recovered record into the shards, bypassing
+// tenant admission (usage is recomputed from the final object set).
+func (sp *Space) applyRecovered(r *walRec) error {
+	switch r.typ {
+	case walRecPut: // also snapRecObject: the numeric values coincide
+		_, _, err := sp.route(r.data.Box).put(&Object{Var: r.key, Version: r.version, Seq: r.seq, Data: r.data})
+		if err != nil {
+			return fmt.Errorf("staging: replay put %s@%d: %w", r.key, r.version, err)
+		}
+	case walRecClear:
+		for _, s := range sp.servers {
+			s.mu.Lock()
+			s.objects = make(map[string][]*Object)
+			s.memUsed = 0
+			s.mu.Unlock()
+		}
+	case walRecDrop:
+		for _, s := range sp.servers {
+			s.dropBefore(r.key, r.version)
+		}
+	case walRecSettle:
+		// Settlements are an audit trail; recovery derives tenant usage
+		// from the recovered objects instead of replaying deltas, so a
+		// settle torn off after its put cannot skew the accounting.
+	}
+	return nil
+}
+
+// recomputeUsageFromShards rebuilds per-tenant accounting from the object
+// set — the authoritative source after a replay.
+func (sp *Space) recomputeUsageFromShards() {
+	usage := make(map[string]*tenantUsage)
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		for _, objs := range s.objects {
+			for _, o := range objs {
+				if t := TenantOf(o.Var); t != "" {
+					u := usage[t]
+					if u == nil {
+						u = &tenantUsage{}
+						usage[t] = u
+					}
+					u.bytes += o.Data.Bytes()
+					u.blocks++
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	sp.qmu.Lock()
+	if len(usage) > 0 || sp.usage != nil {
+		sp.usage = usage
+	}
+	sp.qmu.Unlock()
+}
+
+// ContentManifest recomputes the space's manifest from the objects it
+// actually holds — what a recovered server advertises on rejoin so the
+// pool can repair the diff instead of re-putting everything.
+func (sp *Space) ContentManifest() Manifest {
+	m, _ := sp.ContentManifestSized()
+	return m
+}
+
+// ContentManifestSized is ContentManifest plus each entry's total encoded
+// payload bytes, aligned with the (sorted) entries. The sizes let the
+// repair pass verify byte totals, not just block counts, before skipping
+// a shipment.
+func (sp *Space) ContentManifestSized() (Manifest, []int64) {
+	type agg struct {
+		blocks int
+		bytes  int64
+	}
+	sums := make(map[ManifestEntry]*agg)
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		for _, objs := range s.objects {
+			for _, o := range objs {
+				k := ManifestEntry{Var: o.Var, Version: o.Version}
+				a := sums[k]
+				if a == nil {
+					a = &agg{}
+					sums[k] = a
+				}
+				a.blocks++
+				a.bytes += EncodedSize(o.Data)
+			}
+		}
+		s.mu.Unlock()
+	}
+	var m Manifest
+	for k, a := range sums {
+		k.Blocks = a.blocks
+		m.Entries = append(m.Entries, k)
+	}
+	sortEntries(m.Entries)
+	sizes := make([]int64, len(m.Entries))
+	for i, e := range m.Entries {
+		e.Blocks = 0
+		sizes[i] = sums[e].bytes
+	}
+	return m, sizes
+}
+
+// countLocked totals live objects and bytes (caller holds opMu).
+func (sp *Space) countLocked() (blocks int, size int64) {
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		for _, objs := range s.objects {
+			blocks += len(objs)
+			for _, o := range objs {
+				size += o.Data.Bytes()
+			}
+		}
+		s.mu.Unlock()
+	}
+	return blocks, size
+}
+
+// ---- append side ----
+
+// logPut appends one put record (and, for tenant-qualified keys, the quota
+// settlement that followed it) and fsyncs. Called with opMu held shared;
+// appends themselves serialize on the file via the space's durability
+// invariant that mutators hold opMu.
+func (d *durability) logPut(key string, version int, seq int64, data *field.BoxData, tenant string, bytesDelta int64, blocksDelta int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	body := []byte{walRecPut}
+	body = journal.AppendString(body, key)
+	body = binary.BigEndian.AppendUint64(body, uint64(int64(version)))
+	body = binary.BigEndian.AppendUint64(body, uint64(seq))
+	var buf bytes.Buffer
+	if err := EncodeBlock(&buf, data); err != nil {
+		d.err = fmt.Errorf("staging: wal encode block: %w", err)
+		return d.err
+	}
+	body = append(body, buf.Bytes()...)
+	recs := [][]byte{body}
+	if tenant != "" {
+		settle := []byte{walRecSettle}
+		settle = journal.AppendString(settle, tenant)
+		settle = binary.BigEndian.AppendUint64(settle, uint64(bytesDelta))
+		settle = binary.BigEndian.AppendUint64(settle, uint64(int64(blocksDelta)))
+		recs = append(recs, settle)
+	}
+	return d.append(recs...)
+}
+
+func (d *durability) logClear() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	return d.append([]byte{walRecClear})
+}
+
+func (d *durability) logDrop(varName string, version int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	body := []byte{walRecDrop}
+	body = journal.AppendString(body, varName)
+	body = binary.BigEndian.AppendUint64(body, uint64(int64(version)))
+	return d.append(body)
+}
+
+// append frames and writes the record bodies, fsyncs once, and triggers a
+// compaction when the epoch's record count crosses the threshold. The
+// first failure sticks.
+func (d *durability) append(bodies ...[]byte) error {
+	for _, body := range bodies {
+		framed := journal.FrameRecord(body)
+		if _, err := d.f.Write(framed); err != nil {
+			d.err = fmt.Errorf("staging: wal write: %w", err)
+			return d.err
+		}
+		d.recs++
+		d.stats.Records++
+		d.stats.Bytes += uint64(len(framed))
+		if d.met.records != nil {
+			d.met.records.Inc()
+			d.met.bytes.Add(float64(len(framed)))
+		}
+	}
+	if err := d.sync(); err != nil {
+		return err
+	}
+	if d.recs >= d.compactEvery {
+		return d.compact()
+	}
+	return nil
+}
+
+func (d *durability) sync() error {
+	if err := d.f.Sync(); err != nil {
+		d.err = fmt.Errorf("staging: wal sync: %w", err)
+		return d.err
+	}
+	d.stats.Fsyncs++
+	if d.met.fsyncs != nil {
+		d.met.fsyncs.Inc()
+	}
+	return nil
+}
+
+// compact dumps the space in canonical manifest order into a fresh
+// snapshot (atomically renamed over the old one) and rotates the WAL to
+// the next epoch. Crash windows are covered by recovery's epoch
+// reconciliation: after the snapshot renames but before the WAL rotates,
+// the snapshot's covered-record count skips the replayed prefix.
+func (d *durability) compact() error {
+	objs := d.space.dumpObjects()
+	covered := d.recs
+
+	tmp := filepath.Join(d.dir, "snapshot.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		d.err = fmt.Errorf("staging: snapshot create: %w", err)
+		return d.err
+	}
+	write := func(body []byte) {
+		if err == nil {
+			_, err = f.Write(journal.FrameRecord(body))
+		}
+	}
+	hdr := []byte{snapRecHeader}
+	hdr = binary.BigEndian.AppendUint32(hdr, snapMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, walKeyCodec)
+	hdr = journal.AppendString(hdr, d.serverID)
+	hdr = binary.BigEndian.AppendUint64(hdr, d.epoch)
+	hdr = binary.BigEndian.AppendUint64(hdr, covered)
+	write(hdr)
+	for _, o := range objs {
+		body := []byte{snapRecObject}
+		body = journal.AppendString(body, o.Var)
+		body = binary.BigEndian.AppendUint64(body, uint64(int64(o.Version)))
+		body = binary.BigEndian.AppendUint64(body, uint64(o.Seq))
+		var buf bytes.Buffer
+		if err == nil {
+			err = EncodeBlock(&buf, o.Data)
+		}
+		body = append(body, buf.Bytes()...)
+		write(body)
+	}
+	foot := []byte{snapRecFooter}
+	foot = binary.BigEndian.AppendUint64(foot, uint64(len(objs)))
+	write(foot)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(d.dir, snapFileName))
+	}
+	if err != nil {
+		d.err = fmt.Errorf("staging: snapshot: %w", err)
+		return d.err
+	}
+	syncDir(d.dir)
+
+	// Rotate the WAL: a fresh file with the next epoch's header, renamed
+	// over the old one; the still-open handle follows the rename.
+	nf, err := newWALFile(filepath.Join(d.dir, walFileName), d.serverID, d.epoch+1)
+	if err != nil {
+		d.err = err
+		return d.err
+	}
+	d.f.Close()
+	d.f = nf
+	d.epoch++
+	d.recs = 0
+	d.stats.Snapshots++
+	if d.met.snapshots != nil {
+		d.met.snapshots.Inc()
+	}
+	return nil
+}
+
+// dumpObjects snapshots every live object, sorted canonically: by key,
+// version, block Morton position, then seq.
+func (sp *Space) dumpObjects() []*Object {
+	var out []*Object
+	for _, s := range sp.servers {
+		s.mu.Lock()
+		for _, objs := range s.objects {
+			out = append(out, objs...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		ma := grid.MortonCode(a.Data.Box.Lo.Sub(sp.domain.Lo).Max(grid.Zero))
+		mb := grid.MortonCode(b.Data.Box.Lo.Sub(sp.domain.Lo).Max(grid.Zero))
+		if ma != mb {
+			return ma < mb
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// newWALFile writes a fresh WAL with its header record via tmp + rename,
+// so a crash mid-creation never leaves a headerless file in place.
+func newWALFile(path, serverID string, epoch uint64) (*os.File, error) {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, "wal.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("staging: wal create: %w", err)
+	}
+	hdr := []byte{walRecHeader}
+	hdr = binary.BigEndian.AppendUint32(hdr, walMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, walKeyCodec)
+	hdr = journal.AppendString(hdr, serverID)
+	hdr = binary.BigEndian.AppendUint64(hdr, epoch)
+	if _, err := f.Write(journal.FrameRecord(hdr)); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("staging: wal header: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("staging: wal rotate: %w", err)
+	}
+	syncDir(dir)
+	return f, nil
+}
+
+func syncDir(dir string) {
+	// Directory fsync makes the renames durable; best-effort on platforms
+	// where directories reject Sync.
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+}
+
+// ---- scan side ----
+
+type walScan struct {
+	haveHeader bool
+	epoch      uint64
+	recs       []walRec
+	good       int64 // valid record prefix length (truncate point)
+	torn       bool
+}
+
+// scanWAL walks a WAL image, tolerating a torn tail. Structural defects
+// inside checksum-valid records fail with ErrBadWAL; an identity mismatch
+// fails with ErrWALMismatch.
+func scanWAL(data []byte, serverID string) (*walScan, error) {
+	ws := &walScan{}
+	off := 0
+	for off < len(data) {
+		body, n, ok := journal.NextRecord(data[off:])
+		if !ok {
+			ws.torn = true
+			break
+		}
+		if !ws.haveHeader {
+			epoch, err := decodeWALHeader(body, serverID)
+			if err != nil {
+				return nil, err
+			}
+			ws.haveHeader, ws.epoch = true, epoch
+		} else {
+			rec, err := decodeWALRecord(body)
+			if err != nil {
+				return nil, err
+			}
+			ws.recs = append(ws.recs, rec)
+		}
+		off += n
+	}
+	ws.good = int64(off)
+	if !ws.haveHeader && off < len(data) {
+		ws.torn = true
+	}
+	return ws, nil
+}
+
+func decodeWALHeader(body []byte, serverID string) (epoch uint64, err error) {
+	d := journal.NewDec(body, ErrBadWAL)
+	if t := d.U8(); d.Err() == nil && t != walRecHeader {
+		return 0, fmt.Errorf("%w: first record has type %d (want header)", ErrBadWAL, t)
+	}
+	if m := d.U32(); d.Err() == nil && m != walMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadWAL)
+	}
+	if v := d.U16(); d.Err() == nil && v != walKeyCodec {
+		return 0, fmt.Errorf("%w: key codec version %d (have %d)", ErrWALMismatch, v, walKeyCodec)
+	}
+	id := d.Str(maxWALServerID)
+	epoch = d.U64()
+	if err := d.Done(); err != nil {
+		return 0, err
+	}
+	if id != serverID {
+		return 0, fmt.Errorf("%w: wal written by %q, recovering as %q", ErrWALMismatch, id, serverID)
+	}
+	return epoch, nil
+}
+
+func decodeWALRecord(body []byte) (walRec, error) {
+	d := journal.NewDec(body, ErrBadWAL)
+	rec := walRec{typ: d.U8()}
+	switch rec.typ {
+	case walRecPut:
+		var err error
+		rec.key, rec.version, rec.seq, rec.data, err = decodeKeyedBlock(d)
+		if err != nil {
+			return walRec{}, err
+		}
+		return rec, nil
+	case walRecClear:
+		if err := d.Done(); err != nil {
+			return walRec{}, err
+		}
+		return rec, nil
+	case walRecDrop:
+		rec.key = d.Str(maxWALKey)
+		rec.version = decodeWALVersion(d)
+		if err := d.Done(); err != nil {
+			return walRec{}, err
+		}
+		if rec.key == "" && d.Err() == nil {
+			return walRec{}, fmt.Errorf("%w: empty drop var", ErrBadWAL)
+		}
+		return rec, nil
+	case walRecSettle:
+		rec.tenant = d.Str(maxTenantLen)
+		rec.bytesDelta = d.I64()
+		blocks := d.I64()
+		if err := d.Done(); err != nil {
+			return walRec{}, err
+		}
+		if !ValidTenant(rec.tenant) {
+			return walRec{}, fmt.Errorf("%w: bad settle tenant", ErrBadWAL)
+		}
+		if blocks < -journal.MaxSmallInt || blocks > journal.MaxSmallInt {
+			return walRec{}, fmt.Errorf("%w: settle block delta %d out of range", ErrBadWAL, blocks)
+		}
+		rec.blocksDelta = int(blocks)
+		return rec, nil
+	case walRecHeader:
+		return walRec{}, fmt.Errorf("%w: duplicate header record", ErrBadWAL)
+	default:
+		return walRec{}, fmt.Errorf("%w: unknown record type %d", ErrBadWAL, rec.typ)
+	}
+}
+
+// decodeWALVersion reads a version carried as int64 bits and range-checks
+// it into the manifest codec's value space.
+func decodeWALVersion(d *journal.Dec) int {
+	v := d.I64()
+	if d.Err() == nil && (v < 0 || v > journal.MaxSmallInt) {
+		d.Fail("version %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// decodeKeyedBlock reads the shared tail of put and snapshot-object
+// records: key, version, seq, then the block payload (which must consume
+// the rest of the record exactly).
+func decodeKeyedBlock(d *journal.Dec) (key string, version int, seq int64, data *field.BoxData, err error) {
+	key = d.Str(maxWALKey)
+	version = decodeWALVersion(d)
+	seq = d.I64()
+	rest := d.Rest()
+	if err = d.Err(); err != nil {
+		return "", 0, 0, nil, err
+	}
+	if key == "" {
+		return "", 0, 0, nil, fmt.Errorf("%w: empty key", ErrBadWAL)
+	}
+	r := bytes.NewReader(rest)
+	data, err = DecodeBlock(r)
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("%w: block payload: %v", ErrBadWAL, err)
+	}
+	if r.Len() != 0 {
+		return "", 0, 0, nil, fmt.Errorf("%w: %d trailing block bytes", ErrBadWAL, r.Len())
+	}
+	return key, version, seq, data, nil
+}
+
+// scanSnapshot decodes a snapshot image. Snapshots are complete-or-absent
+// (tmp + rename), so anything short of header + objects + matching footer
+// with no trailing bytes fails closed with ErrBadSnapshot.
+func scanSnapshot(data []byte, serverID string) (epoch, covered uint64, objs []walRec, err error) {
+	off := 0
+	sawHeader, sawFooter := false, false
+	for off < len(data) {
+		body, n, ok := journal.NextRecord(data[off:])
+		if !ok {
+			return 0, 0, nil, fmt.Errorf("%w: torn record at byte %d", ErrBadSnapshot, off)
+		}
+		if sawFooter {
+			return 0, 0, nil, fmt.Errorf("%w: record after footer", ErrBadSnapshot)
+		}
+		d := journal.NewDec(body, ErrBadSnapshot)
+		typ := d.U8()
+		switch {
+		case !sawHeader:
+			if d.Err() == nil && typ != snapRecHeader {
+				return 0, 0, nil, fmt.Errorf("%w: first record has type %d (want header)", ErrBadSnapshot, typ)
+			}
+			if m := d.U32(); d.Err() == nil && m != snapMagic {
+				return 0, 0, nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+			}
+			if v := d.U16(); d.Err() == nil && v != walKeyCodec {
+				return 0, 0, nil, fmt.Errorf("%w: key codec version %d (have %d)", ErrWALMismatch, v, walKeyCodec)
+			}
+			id := d.Str(maxWALServerID)
+			epoch = d.U64()
+			covered = d.U64()
+			if err := d.Done(); err != nil {
+				return 0, 0, nil, err
+			}
+			if id != serverID {
+				return 0, 0, nil, fmt.Errorf("%w: snapshot written by %q, recovering as %q", ErrWALMismatch, id, serverID)
+			}
+			sawHeader = true
+		case typ == snapRecObject:
+			var rec walRec
+			rec.typ = snapRecObject
+			var derr error
+			rec.key, rec.version, rec.seq, rec.data, derr = decodeKeyedBlock(d)
+			if derr != nil {
+				return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, derr)
+			}
+			objs = append(objs, rec)
+		case typ == snapRecFooter:
+			count := d.U64()
+			if err := d.Done(); err != nil {
+				return 0, 0, nil, err
+			}
+			if count != uint64(len(objs)) {
+				return 0, 0, nil, fmt.Errorf("%w: footer counts %d objects, snapshot has %d", ErrBadSnapshot, count, len(objs))
+			}
+			sawFooter = true
+		default:
+			if d.Err() != nil {
+				return 0, 0, nil, d.Err()
+			}
+			return 0, 0, nil, fmt.Errorf("%w: unknown record type %d", ErrBadSnapshot, typ)
+		}
+		off += n
+	}
+	if !sawHeader || !sawFooter {
+		return 0, 0, nil, fmt.Errorf("%w: incomplete snapshot (header %v, footer %v)", ErrBadSnapshot, sawHeader, sawFooter)
+	}
+	if off != len(data) {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data)-off)
+	}
+	return epoch, covered, objs, nil
+}
